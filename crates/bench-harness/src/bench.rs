@@ -1,0 +1,126 @@
+//! Criterion-style micro-benchmark core: warmup, adaptive batch sizing,
+//! and robust statistics over wall-clock samples.
+//!
+//! This is a minimal stand-in for the `criterion` crate (not fetchable in
+//! the offline build container). It keeps criterion's key discipline —
+//! warm up, batch iterations so timer overhead is negligible, report the
+//! median rather than the mean of noisy samples — without the plotting and
+//! regression machinery.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Nanoseconds per iteration, per sample (sorted ascending).
+    pub samples_ns: Vec<f64>,
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub stddev_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub iters_per_sample: u64,
+}
+
+impl Stats {
+    fn from_samples(mut samples_ns: Vec<f64>, iters_per_sample: u64) -> Stats {
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples_ns.len() as f64;
+        let mean = samples_ns.iter().sum::<f64>() / n;
+        let var = samples_ns
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
+        let median = if samples_ns.len() % 2 == 1 {
+            samples_ns[samples_ns.len() / 2]
+        } else {
+            let hi = samples_ns.len() / 2;
+            (samples_ns[hi - 1] + samples_ns[hi]) / 2.0
+        };
+        Stats {
+            mean_ns: mean,
+            median_ns: median,
+            stddev_ns: var.sqrt(),
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().unwrap(),
+            samples_ns,
+            iters_per_sample,
+        }
+    }
+}
+
+pub struct Bencher {
+    pub warmup: Duration,
+    pub measure_budget: Duration,
+    pub target_samples: u32,
+}
+
+impl Default for Bencher {
+    fn default() -> Bencher {
+        Bencher {
+            warmup: Duration::from_millis(150),
+            measure_budget: Duration::from_millis(750),
+            target_samples: 30,
+        }
+    }
+}
+
+impl Bencher {
+    /// Benchmark `f`, returning per-iteration statistics. `f` should wrap
+    /// its result in [`std::hint::black_box`] to defeat dead-code
+    /// elimination.
+    pub fn run<F: FnMut()>(&self, mut f: F) -> Stats {
+        // Warmup doubles as iteration-time estimation.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup {
+            f();
+            warmup_iters += 1;
+        }
+        let est_ns_per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+
+        // Batch so each sample runs long enough that Instant overhead is
+        // noise (>= ~50µs per sample), splitting the budget into
+        // target_samples slices.
+        let sample_budget_ns =
+            (self.measure_budget.as_nanos() as f64 / self.target_samples as f64).max(50_000.0);
+        let iters_per_sample = ((sample_budget_ns / est_ns_per_iter) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.target_samples as usize);
+        let measure_start = Instant::now();
+        while samples.len() < self.target_samples as usize
+            && (samples.len() < 5 || measure_start.elapsed() < self.measure_budget)
+        {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        Stats::from_samples(samples, iters_per_sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_busy_loop() {
+        let bencher = Bencher {
+            warmup: Duration::from_millis(10),
+            measure_budget: Duration::from_millis(40),
+            target_samples: 10,
+        };
+        let stats = bencher.run(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(stats.median_ns > 0.0);
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+        assert!(stats.samples_ns.len() >= 5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Hand-rolled JSON emission (no serde in the offline container). Only the
+//! shapes the bench runner needs: objects, arrays, strings, numbers.
+
+use std::fmt::Write;
+
+#[derive(Default)]
+pub struct JsonObject {
+    buf: String,
+    n: usize,
+}
+
+impl JsonObject {
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.n > 0 {
+            self.buf.push(',');
+        }
+        self.n += 1;
+        write!(self.buf, "\n  {}: ", quote(k)).unwrap();
+    }
+
+    pub fn num(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        write!(self.buf, "{}", fmt_num(v)).unwrap();
+        self
+    }
+
+    pub fn int(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        write!(self.buf, "{v}").unwrap();
+        self
+    }
+
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&quote(v));
+        self
+    }
+
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(&self) -> String {
+        format!("{{{}\n}}", self.buf)
+    }
+}
+
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let body = items
+        .iter()
+        .map(|i| i.replace('\n', "\n  "))
+        .collect::<Vec<_>>()
+        .join(",\n  ");
+    format!("[\n  {body}\n]")
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format with enough precision to be useful, without scientific notation
+/// (not valid in some strict JSON consumers when produced by `{:e}`).
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_an_object() {
+        let mut o = JsonObject::new();
+        o.str("name", "x\"y").int("n", 3).num("f", 1.5);
+        let s = o.finish();
+        assert!(s.contains("\"name\": \"x\\\"y\""));
+        assert!(s.contains("\"n\": 3"));
+        assert!(s.contains("\"f\": 1.500"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn builds_arrays() {
+        assert_eq!(array(Vec::<String>::new()), "[]");
+        let a = array(vec!["1".to_string(), "2".to_string()]);
+        assert_eq!(a, "[\n  1,\n  2\n]");
+    }
+}

@@ -1,0 +1,196 @@
+//! Benchmark runner: measures indexed vs linear BGP rewriting over
+//! synthetic workloads and writes `BENCH_core.json`.
+//!
+//! ```text
+//! cargo run --release -p bench-harness            # full grid -> BENCH_core.json
+//! cargo run --release -p bench-harness -- --quick # small grid, short budgets
+//! cargo run --release -p bench-harness -- --out path.json
+//! ```
+
+mod bench;
+mod json;
+mod workload;
+
+use std::time::Duration;
+
+use bench::{Bencher, Stats};
+use json::{array, JsonObject};
+use sparql_rewrite_core::{IndexedRewriter, LinearRewriter, Rewriter};
+use workload::{generate, WorkloadSpec};
+
+struct ConfigResult {
+    n_rules: usize,
+    patterns_per_query: usize,
+    strategy: &'static str,
+    ns_per_query: f64,
+    ns_per_pattern: f64,
+    patterns_per_sec: f64,
+    stats: Stats,
+}
+
+fn run_config(
+    bencher: &Bencher,
+    n_rules: usize,
+    patterns_per_query: usize,
+    strategy_linear: bool,
+) -> ConfigResult {
+    let spec = WorkloadSpec {
+        n_rules,
+        patterns_per_query,
+        // A batch of queries per iteration so one iteration is meaty even
+        // for the indexed path on tiny queries.
+        n_queries: 64,
+        seed: 0x5eed_0000 + n_rules as u64,
+    };
+    let mut w = generate(&spec);
+    let store = std::mem::take(&mut w.store);
+    let strategy: Box<dyn Rewriter> = if strategy_linear {
+        Box::new(LinearRewriter::new(&store))
+    } else {
+        Box::new(IndexedRewriter::new(&store))
+    };
+
+    let queries = std::mem::take(&mut w.queries);
+    let interner = &mut w.interner;
+    let stats = bencher.run(|| {
+        for q in &queries {
+            std::hint::black_box(strategy.rewrite_query(q, interner));
+        }
+    });
+
+    // One bench iteration rewrites the whole batch.
+    let ns_per_query = stats.median_ns / queries.len() as f64;
+    let ns_per_pattern = stats.median_ns / w.total_patterns as f64;
+    ConfigResult {
+        n_rules,
+        patterns_per_query,
+        strategy: if strategy_linear { "linear" } else { "indexed" },
+        ns_per_query,
+        ns_per_pattern,
+        patterns_per_sec: 1e9 / ns_per_pattern,
+        stats,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_core.json".to_string());
+
+    let (rule_counts, pattern_counts): (&[usize], &[usize]) = if quick {
+        (&[1_000, 10_000], &[4, 16])
+    } else {
+        (&[1_000, 10_000, 100_000], &[1, 4, 8, 32])
+    };
+    let bencher = if quick {
+        Bencher {
+            warmup: Duration::from_millis(50),
+            measure_budget: Duration::from_millis(200),
+            target_samples: 15,
+        }
+    } else {
+        Bencher::default()
+    };
+
+    let mut results: Vec<ConfigResult> = Vec::new();
+    eprintln!(
+        "{:>8} {:>9} {:>9} {:>14} {:>14} {:>16}",
+        "rules", "patterns", "strategy", "ns/query", "ns/pattern", "patterns/sec"
+    );
+    for &n_rules in rule_counts {
+        for &ppq in pattern_counts {
+            for linear in [false, true] {
+                let r = run_config(&bencher, n_rules, ppq, linear);
+                eprintln!(
+                    "{:>8} {:>9} {:>9} {:>14.0} {:>14.1} {:>16.0}",
+                    r.n_rules,
+                    r.patterns_per_query,
+                    r.strategy,
+                    r.ns_per_query,
+                    r.ns_per_pattern,
+                    r.patterns_per_sec
+                );
+                results.push(r);
+            }
+        }
+    }
+
+    // Speedup per rule-set size: geometric mean over query sizes of
+    // (linear ns / indexed ns) for matched configs.
+    let mut speedups = Vec::new();
+    for &n_rules in rule_counts {
+        let mut log_sum = 0.0;
+        let mut n = 0u32;
+        for &ppq in pattern_counts {
+            let find = |s: &str| {
+                results.iter().find(|r| {
+                    r.n_rules == n_rules && r.patterns_per_query == ppq && r.strategy == s
+                })
+            };
+            if let (Some(idx), Some(lin)) = (find("indexed"), find("linear")) {
+                log_sum += (lin.ns_per_pattern / idx.ns_per_pattern).ln();
+                n += 1;
+            }
+        }
+        let geo = (log_sum / n as f64).exp();
+        eprintln!("speedup @ {n_rules} rules (geomean): {geo:.1}x");
+        speedups.push((n_rules, geo));
+    }
+    let min_indexed_throughput = results
+        .iter()
+        .filter(|r| r.strategy == "indexed")
+        .map(|r| r.patterns_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    eprintln!("indexed throughput floor: {min_indexed_throughput:.0} patterns/sec");
+
+    let configs = array(results.iter().map(|r| {
+        let mut o = JsonObject::new();
+        o.int("rules", r.n_rules as u64)
+            .int("patterns_per_query", r.patterns_per_query as u64)
+            .str("strategy", r.strategy)
+            .num("ns_per_query_median", r.ns_per_query)
+            .num("ns_per_pattern_median", r.ns_per_pattern)
+            .num("patterns_per_sec", r.patterns_per_sec)
+            .num("sample_mean_ns", r.stats.mean_ns)
+            .num("sample_stddev_ns", r.stats.stddev_ns)
+            .num("sample_min_ns", r.stats.min_ns)
+            .num("sample_max_ns", r.stats.max_ns)
+            .int("samples", r.stats.samples_ns.len() as u64)
+            .int("iters_per_sample", r.stats.iters_per_sample);
+        o.finish()
+    }));
+    let speedup_json = array(speedups.iter().map(|(n_rules, geo)| {
+        let mut o = JsonObject::new();
+        o.int("rules", *n_rules as u64)
+            .num("speedup_indexed_vs_linear_geomean", *geo);
+        o.finish()
+    }));
+    let mut summary = JsonObject::new();
+    summary
+        .raw("speedup_by_rule_count", &speedup_json)
+        .num("indexed_patterns_per_sec_min", min_indexed_throughput);
+
+    let mut root = JsonObject::new();
+    root.str("benchmark", "bgp_rewriting_core")
+        .str(
+            "description",
+            "indexed vs linear alignment-rule lookup while rewriting synthetic BGPs \
+             (Correndo et al. EDBT 2010 rewriting model)",
+        )
+        .str("unit", "ns per rewritten query / triple pattern, medians")
+        .str("mode", if quick { "quick" } else { "full" })
+        .raw("configs", &configs)
+        .raw("summary", &summary.finish());
+    let doc = root.finish();
+
+    if let Err(e) = std::fs::write(&out_path, format!("{doc}\n")) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

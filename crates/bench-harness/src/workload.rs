@@ -1,0 +1,203 @@
+//! Deterministic synthetic workloads: alignment rule sets of configurable
+//! size plus query batches that exercise them.
+//!
+//! All randomness comes from a seeded xorshift64* generator so every run —
+//! and both rewriting strategies within a run — see byte-identical
+//! workloads.
+
+use sparql_rewrite_core::{AlignmentStore, Bgp, Interner, Query, SelectList, Term, TriplePattern};
+
+/// xorshift64* — tiny, fast, deterministic; no `rand` crate in the offline
+/// container.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// True with probability `num/den`.
+    #[inline]
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+pub struct Workload {
+    pub interner: Interner,
+    pub store: AlignmentStore,
+    pub queries: Vec<Query>,
+    /// Total triple patterns across `queries` — the unit of throughput.
+    pub total_patterns: u64,
+}
+
+pub struct WorkloadSpec {
+    pub n_rules: usize,
+    pub patterns_per_query: usize,
+    pub n_queries: usize,
+    pub seed: u64,
+}
+
+/// Build a workload: `n_rules` alignments (half entity, half predicate —
+/// 30% of predicate templates expand to a two-pattern chain introducing an
+/// existential variable) and `n_queries` queries whose patterns hit the
+/// rule set ~80% of the time.
+pub fn generate(spec: &WorkloadSpec) -> Workload {
+    let mut rng = Rng::new(spec.seed);
+    let mut interner = Interner::new();
+    let mut store = AlignmentStore::new();
+
+    let n_pred_rules = spec.n_rules / 2;
+    let n_entity_rules = spec.n_rules - n_pred_rules;
+
+    let mut src_preds = Vec::with_capacity(n_pred_rules);
+    let mut src_entities = Vec::with_capacity(n_entity_rules);
+    let mut name = String::with_capacity(64);
+    let iri = |interner: &mut Interner, name: &mut String, base: &str, i: usize| -> Term {
+        name.clear();
+        name.push_str(base);
+        name.push_str(&i.to_string());
+        Term::iri(interner.intern(name))
+    };
+
+    let var_s = Term::var(interner.intern("s"));
+    let var_o = Term::var(interner.intern("o"));
+    let var_mid = Term::var(interner.intern("m"));
+
+    for i in 0..n_pred_rules {
+        let src = iri(&mut interner, &mut name, "http://src.example.org/onto/p", i);
+        let tgt = iri(&mut interner, &mut name, "http://tgt.example.org/onto/p", i);
+        src_preds.push(src);
+        let lhs = TriplePattern::new(var_s, src, var_o);
+        let rhs = if rng.chance(3, 10) {
+            // Chain through an existential variable: ?s tgt ?m . ?m tgt' ?o
+            let tgt2 = iri(&mut interner, &mut name, "http://tgt.example.org/onto/q", i);
+            vec![
+                TriplePattern::new(var_s, tgt, var_mid),
+                TriplePattern::new(var_mid, tgt2, var_o),
+            ]
+        } else {
+            vec![TriplePattern::new(var_s, tgt, var_o)]
+        };
+        store.add_predicate(lhs, rhs).expect("valid template");
+    }
+    for i in 0..n_entity_rules {
+        let src = iri(&mut interner, &mut name, "http://src.example.org/ent/e", i);
+        let tgt = iri(&mut interner, &mut name, "http://tgt.example.org/ent/e", i);
+        src_entities.push(src);
+        store.add_entity(src, tgt).expect("valid entity alignment");
+    }
+
+    // Predicates/entities outside the rule set, for the ~20% miss traffic.
+    let mut miss_preds = Vec::with_capacity(64);
+    for i in 0..64 {
+        miss_preds.push(iri(
+            &mut interner,
+            &mut name,
+            "http://other.example.org/onto/p",
+            i,
+        ));
+    }
+
+    // Pre-intern query variables ?v0..?v63.
+    let mut vars = Vec::with_capacity(64);
+    for i in 0..64 {
+        name.clear();
+        name.push('v');
+        name.push_str(&i.to_string());
+        vars.push(Term::var(interner.intern(&name)));
+    }
+
+    let mut queries = Vec::with_capacity(spec.n_queries);
+    let mut total_patterns = 0u64;
+    for _ in 0..spec.n_queries {
+        let mut patterns = Vec::with_capacity(spec.patterns_per_query);
+        for k in 0..spec.patterns_per_query {
+            let s = vars[k % vars.len()];
+            let p = if !src_preds.is_empty() && rng.chance(8, 10) {
+                src_preds[rng.below(src_preds.len())]
+            } else {
+                miss_preds[rng.below(miss_preds.len())]
+            };
+            // A third of objects are concrete entities (half of those hit an
+            // entity alignment), the rest chain to the next variable.
+            let o = if !src_entities.is_empty() && rng.chance(1, 3) {
+                if rng.chance(1, 2) {
+                    src_entities[rng.below(src_entities.len())]
+                } else {
+                    vars[(k + 7) % vars.len()]
+                }
+            } else {
+                vars[(k + 1) % vars.len()]
+            };
+            patterns.push(TriplePattern::new(s, p, o));
+        }
+        total_patterns += patterns.len() as u64;
+        queries.push(Query {
+            select: SelectList::Star,
+            bgp: Bgp::new(patterns),
+        });
+    }
+
+    Workload {
+        interner,
+        store,
+        queries,
+        total_patterns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparql_rewrite_core::{IndexedRewriter, LinearRewriter, Rewriter};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let spec = WorkloadSpec {
+            n_rules: 200,
+            patterns_per_query: 8,
+            n_queries: 10,
+            seed: 42,
+        };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.store.len(), b.store.len());
+        assert_eq!(a.total_patterns, 80);
+    }
+
+    #[test]
+    fn indexed_and_linear_agree_on_generated_workload() {
+        let spec = WorkloadSpec {
+            n_rules: 500,
+            patterns_per_query: 16,
+            n_queries: 20,
+            seed: 7,
+        };
+        let mut w = generate(&spec);
+        let indexed = IndexedRewriter::new(&w.store);
+        let linear = LinearRewriter::new(&w.store);
+        for q in &w.queries {
+            let a = indexed.rewrite_query(q, &mut w.interner);
+            let b = linear.rewrite_query(q, &mut w.interner);
+            assert_eq!(a, b);
+        }
+    }
+}

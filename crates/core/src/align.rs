@@ -1,0 +1,231 @@
+//! Ontology alignments and the hash-indexed alignment store.
+//!
+//! Following Correndo et al. (EDBT 2010), an alignment rule is either an
+//! **entity alignment** `e1 ≡ e2` (rewrite every occurrence of `e1` to `e2`)
+//! or a **predicate alignment** mapping a triple-pattern template to a
+//! graph-pattern template, e.g.
+//!
+//! ```text
+//! ?x src:authorOf ?y   ⇒   ?y tgt:author ?x
+//! ?x src:name ?n       ⇒   ?x tgt:firstName ?f . ?x tgt:lastName ?l
+//! ```
+//!
+//! The hot path is "for each query triple pattern, find the rules that could
+//! apply", so the store keeps two hash indexes over the rule list:
+//! entity rules keyed by the raw source term, predicate rules keyed by the
+//! template's predicate symbol. Lookup is O(1) per triple pattern; the
+//! [`crate::rewriter::LinearRewriter`] ignores the indexes and scans the
+//! rule list instead, as the benchmark baseline.
+
+use crate::fxhash::FxHashMap;
+use crate::pattern::TriplePattern;
+use crate::smallvec::SmallVec;
+use crate::term::{Symbol, Term};
+
+/// One alignment rule. Stored in a flat `Vec`; rule ids are indices into it,
+/// and "first matching rule in id order wins" is the tie-break both
+/// rewriters implement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// `from ≡ to`: substitute `to` wherever `from` occurs (subject,
+    /// predicate, or object position).
+    Entity { from: Term, to: Term },
+    /// Template rewrite: a query pattern that matches `lhs` is replaced by
+    /// `rhs` with the lhs variable bindings applied. Variables occurring in
+    /// `rhs` but not in `lhs` are existential and get fresh names at
+    /// application time. The converse — an lhs variable unused in `rhs` —
+    /// is deliberately legal: the paper's alignments may be lossy (the
+    /// target ontology cannot always express every source binding), and the
+    /// rule author owns that trade-off.
+    Predicate {
+        lhs: TriplePattern,
+        rhs: Vec<TriplePattern>,
+    },
+}
+
+/// Error adding a rule to the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// Predicate templates must have a concrete (non-variable) predicate —
+    /// it is the index key and the paper's alignments are per-predicate.
+    VariablePredicate,
+    /// Entity alignments relate concrete terms; a variable cannot be ≡ to
+    /// anything.
+    VariableEntity,
+    /// Empty right-hand side would silently delete query patterns.
+    EmptyTemplate,
+}
+
+impl std::fmt::Display for AlignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignError::VariablePredicate => {
+                f.write_str("predicate alignment template must have a concrete predicate")
+            }
+            AlignError::VariableEntity => {
+                f.write_str("entity alignment endpoints must be concrete terms")
+            }
+            AlignError::EmptyTemplate => {
+                f.write_str("predicate alignment right-hand side must be non-empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+/// Rule set plus hash indexes for O(1) per-pattern candidate lookup.
+#[derive(Default, Debug)]
+pub struct AlignmentStore {
+    rules: Vec<Rule>,
+    /// Raw packed source term → id of the *first* entity rule for it.
+    /// Later duplicates are kept in `rules` (the linear scan also takes the
+    /// first match) but never win.
+    entity_idx: FxHashMap<u32, u32>,
+    /// Template predicate symbol → ids of predicate rules with that
+    /// predicate, in insertion (= id) order.
+    predicate_idx: FxHashMap<Symbol, SmallVec<u32, 4>>,
+}
+
+impl AlignmentStore {
+    pub fn new() -> AlignmentStore {
+        AlignmentStore::default()
+    }
+
+    /// Register `from ≡ to`. Returns the rule id.
+    pub fn add_entity(&mut self, from: Term, to: Term) -> Result<u32, AlignError> {
+        if from.is_var() || to.is_var() {
+            return Err(AlignError::VariableEntity);
+        }
+        let id = self.next_id();
+        self.rules.push(Rule::Entity { from, to });
+        self.entity_idx.entry(from.raw()).or_insert(id);
+        Ok(id)
+    }
+
+    /// Register a template rewrite `lhs ⇒ rhs`. Returns the rule id.
+    pub fn add_predicate(
+        &mut self,
+        lhs: TriplePattern,
+        rhs: Vec<TriplePattern>,
+    ) -> Result<u32, AlignError> {
+        if lhs.p.is_var() {
+            return Err(AlignError::VariablePredicate);
+        }
+        if rhs.is_empty() {
+            return Err(AlignError::EmptyTemplate);
+        }
+        let id = self.next_id();
+        self.predicate_idx
+            .entry(lhs.p.symbol())
+            .or_default()
+            .push(id);
+        self.rules.push(Rule::Predicate { lhs, rhs });
+        Ok(id)
+    }
+
+    fn next_id(&self) -> u32 {
+        u32::try_from(self.rules.len()).expect("more than u32::MAX rules")
+    }
+
+    #[inline]
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Indexed entity lookup: the replacement for `t`, if any entity rule
+    /// rewrites it.
+    #[inline]
+    pub fn entity_target(&self, t: Term) -> Option<Term> {
+        let &id = self.entity_idx.get(&t.raw())?;
+        match &self.rules[id as usize] {
+            Rule::Entity { to, .. } => Some(*to),
+            _ => unreachable!("entity index points at non-entity rule"),
+        }
+    }
+
+    /// Indexed predicate-rule candidates for a pattern whose predicate is
+    /// `p`, in rule-id order. Variables never match (templates must have
+    /// concrete predicates, so a variable predicate in the query can only be
+    /// entity-rewritten, never template-expanded).
+    #[inline]
+    pub fn predicate_candidates(&self, p: Term) -> &[u32] {
+        if p.is_var() {
+            return &[];
+        }
+        self.predicate_idx
+            .get(&p.symbol())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    fn iri(i: &mut Interner, s: &str) -> Term {
+        Term::iri(i.intern(s))
+    }
+
+    fn var(i: &mut Interner, s: &str) -> Term {
+        Term::var(i.intern(s))
+    }
+
+    #[test]
+    fn entity_index_first_rule_wins() {
+        let mut it = Interner::new();
+        let a = iri(&mut it, "http://a");
+        let b = iri(&mut it, "http://b");
+        let c = iri(&mut it, "http://c");
+        let mut store = AlignmentStore::new();
+        store.add_entity(a, b).unwrap();
+        store.add_entity(a, c).unwrap();
+        assert_eq!(store.entity_target(a), Some(b));
+        assert_eq!(store.entity_target(b), None);
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        let mut it = Interner::new();
+        let v = var(&mut it, "x");
+        let p = iri(&mut it, "http://p");
+        let mut store = AlignmentStore::new();
+        assert_eq!(store.add_entity(v, p), Err(AlignError::VariableEntity));
+        let lhs_varpred = TriplePattern::new(v, v, v);
+        assert_eq!(
+            store.add_predicate(lhs_varpred, vec![lhs_varpred]),
+            Err(AlignError::VariablePredicate)
+        );
+        let lhs = TriplePattern::new(v, p, v);
+        assert_eq!(
+            store.add_predicate(lhs, vec![]),
+            Err(AlignError::EmptyTemplate)
+        );
+    }
+
+    #[test]
+    fn predicate_candidates_in_id_order() {
+        let mut it = Interner::new();
+        let v = var(&mut it, "x");
+        let p = iri(&mut it, "http://p");
+        let q = iri(&mut it, "http://q");
+        let mut store = AlignmentStore::new();
+        let lhs = TriplePattern::new(v, p, v);
+        let id0 = store.add_predicate(lhs, vec![lhs]).unwrap();
+        store.add_entity(p, q).unwrap();
+        let id2 = store.add_predicate(lhs, vec![lhs]).unwrap();
+        assert_eq!(store.predicate_candidates(p), &[id0, id2]);
+        assert_eq!(store.predicate_candidates(q), &[] as &[u32]);
+        assert_eq!(store.predicate_candidates(v), &[] as &[u32]);
+    }
+}

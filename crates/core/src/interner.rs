@@ -1,0 +1,78 @@
+//! String interner mapping term text to 30-bit [`Symbol`]s.
+//!
+//! Interning happens once per distinct string at parse/load time; the hot
+//! rewrite path never touches strings, only `u32` symbols. Lookup uses the
+//! [FxHash](crate::fxhash) hasher — short IRIs and QName expansions dominate
+//! the key distribution and Fx beats SipHash on them by a wide margin.
+
+use crate::fxhash::FxHashMap;
+use crate::term::Symbol;
+
+/// Append-only string interner. Symbols are dense indices starting at 0.
+#[derive(Default, Debug)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, u32>,
+    // Owned copies of the keys, indexed by symbol. Strings are stored twice
+    // (map key + vec slot); this doubles intern-time allocation but keeps the
+    // implementation safe and the resolve path a plain slice index.
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its symbol. O(1) amortized; allocates only the
+    /// first time a string is seen.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&id) = self.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        assert!(id <= Symbol::MAX, "interner exceeded 2^30 symbols");
+        let owned: Box<str> = s.into();
+        self.strings.push(owned.clone());
+        self.map.insert(owned, id);
+        Symbol(id)
+    }
+
+    /// Look up a symbol minted by this interner.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Symbol for `s` if it has already been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).map(|&id| Symbol(id))
+    }
+
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_and_resolves() {
+        let mut i = Interner::new();
+        let a = i.intern("http://example.org/a");
+        let b = i.intern("http://example.org/b");
+        let a2 = i.intern("http://example.org/a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "http://example.org/a");
+        assert_eq!(i.resolve(b), "http://example.org/b");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("http://example.org/b"), Some(b));
+        assert_eq!(i.get("missing"), None);
+    }
+}

@@ -1,1 +1,38 @@
-pub fn placeholder() {}
+//! # sparql-rewrite-core
+//!
+//! High-throughput implementation of the SPARQL BGP rewriting approach of
+//! Correndo et al., *"SPARQL query rewriting for implementing data
+//! integration over linked data"* (EDBT 2010): queries written against a
+//! source ontology are rewritten — via entity and predicate alignments —
+//! into queries over a target ontology.
+//!
+//! Performance is structural, not bolted on:
+//!
+//! * [`term::Term`] packs kind + interner symbol into 4 bytes, so a
+//!   [`pattern::TriplePattern`] is a 12-byte `Copy` value and all hot-path
+//!   comparisons are integer ops ([`interner::Interner`] holds the strings).
+//! * [`parser`] tokenizes without allocating — input slices are borrowed
+//!   until intern time.
+//! * [`align::AlignmentStore`] indexes rules by term/predicate symbol in
+//!   hash maps with [`fxhash`], so candidate lookup is O(1) per triple
+//!   pattern; [`rewriter::LinearRewriter`] is the O(rules) baseline kept
+//!   behind the same [`rewriter::Rewriter`] trait for benchmarking.
+//!
+//! See the workspace README for the paper's rewriting model and
+//! `crates/bench-harness` for the measurement harness.
+
+pub mod align;
+pub mod fxhash;
+pub mod interner;
+pub mod parser;
+pub mod pattern;
+pub mod rewriter;
+pub mod smallvec;
+pub mod term;
+
+pub use align::{AlignError, AlignmentStore, Rule};
+pub use interner::Interner;
+pub use parser::{parse_bgp, parse_query, ParseError};
+pub use pattern::{Bgp, Query, SelectList, TriplePattern};
+pub use rewriter::{IndexedRewriter, LinearRewriter, Rewriter};
+pub use term::{Symbol, Term, TermKind};

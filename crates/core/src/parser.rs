@@ -1,0 +1,521 @@
+//! Zero-copy tokenizer and parser for the SELECT/WHERE BGP fragment of
+//! SPARQL.
+//!
+//! The tokenizer yields `&str` slices borrowing from the input; nothing is
+//! allocated until a term's final text is known (after PREFIX expansion for
+//! QNames), at which point it is interned once. Supported syntax:
+//!
+//! ```sparql
+//! PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+//! SELECT ?name ?mbox
+//! WHERE {
+//!   ?x foaf:name ?name ; foaf:mbox ?mbox .
+//!   ?x a foaf:Person .
+//! }
+//! ```
+//!
+//! Triple blocks support `;` (predicate-object lists) and `,` (object
+//! lists); `a` expands to `rdf:type`. OPTIONAL/UNION/FILTER are out of scope
+//! for this crate (see ROADMAP) and produce a parse error.
+
+use std::fmt;
+
+use crate::fxhash::FxHashMap;
+use crate::interner::Interner;
+use crate::pattern::{Bgp, Query, SelectList, TriplePattern};
+use crate::term::Term;
+
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokens borrow from the query string — the tokenizer allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token<'a> {
+    /// `<...>` with brackets stripped.
+    IriRef(&'a str),
+    /// `prefix:local` (either part may be empty).
+    QName(&'a str),
+    /// `?x` / `$x` with the sigil stripped.
+    Var(&'a str),
+    /// Full literal surface form including quotes and any @lang/^^ suffix.
+    Literal(&'a str),
+    /// `_:label` with the `_:` stripped.
+    Blank(&'a str),
+    /// A bare word: SELECT, WHERE, PREFIX, `a`, `*`.
+    Word(&'a str),
+    LBrace,
+    RBrace,
+    Dot,
+    Semicolon,
+    Comma,
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Tokenizer<'a> {
+        Tokenizer { input, pos: 0 }
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    fn skip_trivia(&mut self) {
+        let b = self.bytes();
+        while self.pos < b.len() {
+            match b[self.pos] {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'#' => {
+                    while self.pos < b.len() && b[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    /// Scan a literal starting at the opening quote; returns the full
+    /// surface form (quotes, escapes, and any `@lang` / `^^iri-or-qname`
+    /// suffix included) as one borrowed slice.
+    fn scan_literal(&mut self) -> Result<Token<'a>, ParseError> {
+        let b = self.bytes();
+        let start = self.pos;
+        debug_assert_eq!(b[self.pos], b'"');
+        self.pos += 1;
+        loop {
+            match b.get(self.pos) {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\\') => {
+                    if self.pos + 1 >= b.len() {
+                        return Err(self.err("dangling escape in literal"));
+                    }
+                    self.pos += 2;
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        // Optional @lang
+        if b.get(self.pos) == Some(&b'@') {
+            self.pos += 1;
+            let tag_start = self.pos;
+            while self
+                .bytes()
+                .get(self.pos)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'-')
+            {
+                self.pos += 1;
+            }
+            if self.pos == tag_start {
+                return Err(self.err("empty language tag"));
+            }
+        } else if b.get(self.pos) == Some(&b'^') && b.get(self.pos + 1) == Some(&b'^') {
+            self.pos += 2;
+            if b.get(self.pos) == Some(&b'<') {
+                while self.pos < b.len() && b[self.pos] != b'>' {
+                    self.pos += 1;
+                }
+                if b.get(self.pos) != Some(&b'>') {
+                    return Err(self.err("unterminated datatype IRI"));
+                }
+                self.pos += 1;
+            } else {
+                let dt_start = self.pos;
+                while self
+                    .bytes()
+                    .get(self.pos)
+                    .is_some_and(|c| is_name_byte(*c) || *c == b':')
+                {
+                    self.pos += 1;
+                }
+                if self.pos == dt_start {
+                    return Err(self.err("empty datatype after '^^'"));
+                }
+            }
+        }
+        Ok(Token::Literal(&self.input[start..self.pos]))
+    }
+
+    fn next(&mut self) -> Result<Option<Token<'a>>, ParseError> {
+        self.skip_trivia();
+        let b = self.bytes();
+        let Some(&c) = b.get(self.pos) else {
+            return Ok(None);
+        };
+        let tok = match c {
+            b'{' => {
+                self.pos += 1;
+                Token::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Token::RBrace
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            b';' => {
+                self.pos += 1;
+                Token::Semicolon
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'*' => {
+                self.pos += 1;
+                Token::Word("*")
+            }
+            b'<' => {
+                let start = self.pos + 1;
+                let mut end = start;
+                while end < b.len() && b[end] != b'>' {
+                    end += 1;
+                }
+                if end == b.len() {
+                    return Err(self.err("unterminated IRI reference"));
+                }
+                self.pos = end + 1;
+                Token::IriRef(&self.input[start..end])
+            }
+            b'?' | b'$' => {
+                let start = self.pos + 1;
+                let mut end = start;
+                while end < b.len() && is_name_byte(b[end]) {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(self.err("empty variable name"));
+                }
+                self.pos = end;
+                Token::Var(&self.input[start..end])
+            }
+            b'"' => self.scan_literal()?,
+            b'_' if b.get(self.pos + 1) == Some(&b':') => {
+                let start = self.pos + 2;
+                let mut end = start;
+                while end < b.len() && is_name_byte(b[end]) {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(self.err("empty blank node label"));
+                }
+                self.pos = end;
+                Token::Blank(&self.input[start..end])
+            }
+            c if is_name_byte(c) || c == b':' => {
+                let start = self.pos;
+                let mut end = start;
+                let mut has_colon = false;
+                while end < b.len() && (is_name_byte(b[end]) || (b[end] == b':' && !has_colon)) {
+                    if b[end] == b':' {
+                        has_colon = true;
+                    }
+                    end += 1;
+                }
+                self.pos = end;
+                let text = &self.input[start..end];
+                if has_colon {
+                    Token::QName(text)
+                } else {
+                    Token::Word(text)
+                }
+            }
+            other => return Err(self.err(format!("unexpected byte 0x{other:02x}"))),
+        };
+        Ok(Some(tok))
+    }
+}
+
+#[inline]
+fn is_name_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || !c.is_ascii()
+}
+
+/// Parser state: a tokenizer with one token of lookahead, the PREFIX table
+/// (maps prefix name without the colon to its expansion), and the interner
+/// terms are minted into.
+pub struct Parser<'a, 'i> {
+    tok: Tokenizer<'a>,
+    peeked: Option<Token<'a>>,
+    prefixes: FxHashMap<&'a str, &'a str>,
+    interner: &'i mut Interner,
+    // Scratch buffer reused for every QName expansion to avoid a fresh
+    // allocation per term.
+    expand_buf: String,
+}
+
+impl<'a, 'i> Parser<'a, 'i> {
+    pub fn new(input: &'a str, interner: &'i mut Interner) -> Parser<'a, 'i> {
+        Parser {
+            tok: Tokenizer::new(input),
+            peeked: None,
+            prefixes: FxHashMap::default(),
+            interner,
+            expand_buf: String::new(),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token<'a>>, ParseError> {
+        if let Some(t) = self.peeked.take() {
+            return Ok(Some(t));
+        }
+        self.tok.next()
+    }
+
+    fn peek(&mut self) -> Result<Option<Token<'a>>, ParseError> {
+        if self.peeked.is_none() {
+            self.peeked = self.tok.next()?;
+        }
+        Ok(self.peeked)
+    }
+
+    fn expect(&mut self, what: &str) -> Result<Token<'a>, ParseError> {
+        self.next_token()?.ok_or_else(|| {
+            self.tok
+                .err(format!("unexpected end of input, expected {what}"))
+        })
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        self.tok.err(message)
+    }
+
+    /// Expand a QName against the PREFIX table and intern the result.
+    fn intern_qname(&mut self, qname: &str) -> Result<Term, ParseError> {
+        let colon = qname.find(':').expect("tokenizer guarantees a colon");
+        let (prefix, local) = (&qname[..colon], &qname[colon + 1..]);
+        let Some(base) = self.prefixes.get(prefix) else {
+            return Err(self.err(format!("undeclared prefix '{prefix}:'")));
+        };
+        self.expand_buf.clear();
+        self.expand_buf.push_str(base);
+        self.expand_buf.push_str(local);
+        Ok(Term::iri(self.interner.intern(&self.expand_buf)))
+    }
+
+    /// Intern a literal, canonicalizing a `^^prefix:local` datatype to
+    /// `^^<expanded-iri>` so rendered output needs no PREFIX declaration and
+    /// the QName and full-IRI spellings of one literal share a symbol.
+    fn intern_literal(&mut self, lit: &str) -> Result<Term, ParseError> {
+        let close = lit.rfind('"').expect("tokenizer guarantees quotes");
+        if let Some(dtype) = lit[close + 1..].strip_prefix("^^") {
+            if !dtype.starts_with('<') {
+                let colon = dtype
+                    .find(':')
+                    .ok_or_else(|| self.err("datatype QName missing ':'"))?;
+                let (prefix, local) = (&dtype[..colon], &dtype[colon + 1..]);
+                let Some(&base) = self.prefixes.get(prefix) else {
+                    return Err(self.err(format!("undeclared prefix '{prefix}:'")));
+                };
+                self.expand_buf.clear();
+                self.expand_buf.push_str(&lit[..close + 1]);
+                self.expand_buf.push_str("^^<");
+                self.expand_buf.push_str(base);
+                self.expand_buf.push_str(local);
+                self.expand_buf.push('>');
+                return Ok(Term::literal(self.interner.intern(&self.expand_buf)));
+            }
+        }
+        Ok(Term::literal(self.interner.intern(lit)))
+    }
+
+    fn parse_term(&mut self, tok: Token<'a>, position: &str) -> Result<Term, ParseError> {
+        match tok {
+            Token::IriRef(iri) => Ok(Term::iri(self.interner.intern(iri))),
+            Token::QName(q) => self.intern_qname(q),
+            Token::Var(v) => Ok(Term::var(self.interner.intern(v))),
+            Token::Literal(l) => self.intern_literal(l),
+            Token::Blank(b) => Ok(Term::blank(self.interner.intern(b))),
+            Token::Word("a") if position == "predicate" => {
+                Ok(Term::iri(self.interner.intern(RDF_TYPE)))
+            }
+            other => Err(self.err(format!("expected {position} term, found {other:?}"))),
+        }
+    }
+
+    fn parse_prologue(&mut self) -> Result<(), ParseError> {
+        while let Some(Token::Word(w)) = self.peek()? {
+            if !w.eq_ignore_ascii_case("PREFIX") {
+                break;
+            }
+            self.next_token()?;
+            let Token::QName(q) = self.expect("prefix declaration")? else {
+                return Err(self.err("expected 'name:' after PREFIX"));
+            };
+            if !q.ends_with(':') {
+                return Err(self.err("prefix declaration must end with ':'"));
+            }
+            let Token::IriRef(iri) = self.expect("IRI after prefix name")? else {
+                return Err(self.err("expected <IRI> after prefix name"));
+            };
+            self.prefixes.insert(&q[..q.len() - 1], iri);
+        }
+        Ok(())
+    }
+
+    fn parse_select(&mut self) -> Result<SelectList, ParseError> {
+        match self.expect("SELECT")? {
+            Token::Word(w) if w.eq_ignore_ascii_case("SELECT") => {}
+            other => return Err(self.err(format!("expected SELECT, found {other:?}"))),
+        }
+        match self.peek()? {
+            Some(Token::Word("*")) => {
+                self.next_token()?;
+                Ok(SelectList::Star)
+            }
+            _ => {
+                let mut vars = Vec::new();
+                while let Some(Token::Var(v)) = self.peek()? {
+                    self.next_token()?;
+                    vars.push(Term::var(self.interner.intern(v)));
+                }
+                if vars.is_empty() {
+                    return Err(self.err("SELECT needs '*' or at least one variable"));
+                }
+                Ok(SelectList::Vars(vars))
+            }
+        }
+    }
+
+    /// Parse the `{ ... }` group as a flat BGP, supporting `.`-separated
+    /// triple blocks with `;` predicate-object lists and `,` object lists.
+    fn parse_bgp(&mut self) -> Result<Bgp, ParseError> {
+        match self.expect("'{'")? {
+            Token::LBrace => {}
+            other => return Err(self.err(format!("expected '{{', found {other:?}"))),
+        }
+        let mut patterns = Vec::new();
+        loop {
+            match self.peek()? {
+                Some(Token::RBrace) => {
+                    self.next_token()?;
+                    break;
+                }
+                Some(Token::Word(w))
+                    if ["OPTIONAL", "UNION", "FILTER", "GRAPH", "SERVICE", "MINUS"]
+                        .iter()
+                        .any(|kw| w.eq_ignore_ascii_case(kw)) =>
+                {
+                    return Err(self.err(format!(
+                        "{w} is not supported by the BGP rewriter (see ROADMAP: query-level rewriting)"
+                    )));
+                }
+                Some(_) => {
+                    self.parse_triple_block(&mut patterns)?;
+                    // Optional '.' between blocks.
+                    if self.peek()? == Some(Token::Dot) {
+                        self.next_token()?;
+                    }
+                }
+                None => return Err(self.err("unexpected end of input inside group pattern")),
+            }
+        }
+        Ok(Bgp::new(patterns))
+    }
+
+    fn parse_triple_block(&mut self, patterns: &mut Vec<TriplePattern>) -> Result<(), ParseError> {
+        let tok = self.expect("subject term")?;
+        let subject = self.parse_term(tok, "subject")?;
+        loop {
+            let tok = self.expect("predicate term")?;
+            let predicate = self.parse_term(tok, "predicate")?;
+            loop {
+                let tok = self.expect("object term")?;
+                let object = self.parse_term(tok, "object")?;
+                patterns.push(TriplePattern::new(subject, predicate, object));
+                if self.peek()? == Some(Token::Comma) {
+                    self.next_token()?;
+                } else {
+                    break;
+                }
+            }
+            if self.peek()? == Some(Token::Semicolon) {
+                self.next_token()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn parse_query(&mut self) -> Result<Query, ParseError> {
+        self.parse_prologue()?;
+        let select = self.parse_select()?;
+        match self.expect("WHERE")? {
+            Token::Word(w) if w.eq_ignore_ascii_case("WHERE") => {}
+            // Bare `{ ... }` without the WHERE keyword is legal SPARQL.
+            Token::LBrace => {
+                self.peeked = Some(Token::LBrace);
+            }
+            other => return Err(self.err(format!("expected WHERE, found {other:?}"))),
+        }
+        let bgp = self.parse_bgp()?;
+        if let Some(tok) = self.next_token()? {
+            return Err(self.err(format!("trailing input after query: {tok:?}")));
+        }
+        Ok(Query { select, bgp })
+    }
+}
+
+/// Parse a full SELECT query, interning all terms into `interner`.
+pub fn parse_query(input: &str, interner: &mut Interner) -> Result<Query, ParseError> {
+    Parser::new(input, interner).parse_query()
+}
+
+/// Parse a bare BGP — a brace-less triple-pattern list, with an optional
+/// PREFIX prologue and optional surrounding `{ }`. Used for rule templates.
+pub fn parse_bgp(input: &str, interner: &mut Interner) -> Result<Bgp, ParseError> {
+    Parser::new(input, interner).parse_bgp_entry()
+}
+
+impl Parser<'_, '_> {
+    fn parse_bgp_entry(mut self) -> Result<Bgp, ParseError> {
+        self.parse_prologue()?;
+        if self.peek()? == Some(Token::LBrace) {
+            let bgp = self.parse_bgp()?;
+            if let Some(tok) = self.next_token()? {
+                return Err(self.err(format!("trailing input after '}}': {tok:?}")));
+            }
+            return Ok(bgp);
+        }
+        let mut patterns = Vec::new();
+        while self.peek()?.is_some() {
+            self.parse_triple_block(&mut patterns)?;
+            if self.peek()? == Some(Token::Dot) {
+                self.next_token()?;
+            }
+        }
+        Ok(Bgp::new(patterns))
+    }
+}

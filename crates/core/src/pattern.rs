@@ -1,0 +1,180 @@
+//! Triple patterns, basic graph patterns, and queries — plus `Display`
+//! rendering back to valid SPARQL text.
+//!
+//! Terms are interner symbols, so rendering needs the [`Interner`] that
+//! minted them; `display(&interner)` pairs a value with its interner and the
+//! pair implements [`std::fmt::Display`].
+
+use std::fmt;
+
+use crate::interner::Interner;
+use crate::term::{Term, TermKind};
+
+/// One SPARQL triple pattern. 12 bytes, `Copy`: equality and hashing are
+/// three integer comparisons, and a BGP is a cache-friendly flat `Vec`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TriplePattern {
+    pub s: Term,
+    pub p: Term,
+    pub o: Term,
+}
+
+impl TriplePattern {
+    #[inline]
+    pub fn new(s: Term, p: Term, o: Term) -> TriplePattern {
+        TriplePattern { s, p, o }
+    }
+
+    #[inline]
+    pub fn terms(&self) -> [Term; 3] {
+        [self.s, self.p, self.o]
+    }
+
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayTriple<'a> {
+        DisplayTriple { tp: self, interner }
+    }
+}
+
+/// A basic graph pattern: a conjunction of triple patterns.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Bgp {
+    pub patterns: Vec<TriplePattern>,
+}
+
+impl Bgp {
+    pub fn new(patterns: Vec<TriplePattern>) -> Bgp {
+        Bgp { patterns }
+    }
+
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayBgp<'a> {
+        DisplayBgp {
+            bgp: self,
+            interner,
+        }
+    }
+}
+
+/// Projection of a SELECT query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SelectList {
+    /// `SELECT *`
+    Star,
+    /// `SELECT ?a ?b …` — terms are guaranteed to be variables by the parser.
+    Vars(Vec<Term>),
+}
+
+/// A parsed SELECT query restricted to the fragment the rewriter handles:
+/// projection plus one basic graph pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    pub select: SelectList,
+    pub bgp: Bgp,
+}
+
+impl Query {
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayQuery<'a> {
+        DisplayQuery {
+            query: self,
+            interner,
+        }
+    }
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, t: Term, interner: &Interner) -> fmt::Result {
+    let text = interner.resolve(t.symbol());
+    match t.kind() {
+        TermKind::Iri => write!(f, "<{text}>"),
+        // Literals are interned with their full surface form (quotes,
+        // @lang / ^^datatype suffix) so they render verbatim.
+        TermKind::Literal => f.write_str(text),
+        TermKind::Blank => write!(f, "_:{text}"),
+        TermKind::Var => write!(f, "?{text}"),
+    }
+}
+
+pub struct DisplayTriple<'a> {
+    tp: &'a TriplePattern,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayTriple<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(f, self.tp.s, self.interner)?;
+        f.write_str(" ")?;
+        write_term(f, self.tp.p, self.interner)?;
+        f.write_str(" ")?;
+        write_term(f, self.tp.o, self.interner)?;
+        f.write_str(" .")
+    }
+}
+
+pub struct DisplayBgp<'a> {
+    bgp: &'a Bgp,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayBgp<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{\n")?;
+        for tp in &self.bgp.patterns {
+            writeln!(f, "  {}", tp.display(self.interner))?;
+        }
+        f.write_str("}")
+    }
+}
+
+pub struct DisplayQuery<'a> {
+    query: &'a Query,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayQuery<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT")?;
+        match &self.query.select {
+            SelectList::Star => f.write_str(" *")?,
+            SelectList::Vars(vars) => {
+                for v in vars {
+                    f.write_str(" ")?;
+                    write_term(f, *v, self.interner)?;
+                }
+            }
+        }
+        write!(f, " WHERE {}", self.query.bgp.display(self.interner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_pattern_is_twelve_bytes_and_copy() {
+        assert_eq!(std::mem::size_of::<TriplePattern>(), 12);
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TriplePattern>();
+    }
+
+    #[test]
+    fn renders_all_term_kinds() {
+        let mut i = Interner::new();
+        let tp = TriplePattern::new(
+            Term::var(i.intern("s")),
+            Term::iri(i.intern("http://ex.org/p")),
+            Term::literal(i.intern("\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>")),
+        );
+        assert_eq!(
+            tp.display(&i).to_string(),
+            "?s <http://ex.org/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> ."
+        );
+        let tp2 = TriplePattern::new(
+            Term::blank(i.intern("b0")),
+            Term::iri(i.intern("http://ex.org/p")),
+            Term::literal(i.intern("\"hi\"@en")),
+        );
+        assert_eq!(
+            tp2.display(&i).to_string(),
+            "_:b0 <http://ex.org/p> \"hi\"@en ."
+        );
+    }
+}

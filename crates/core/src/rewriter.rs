@@ -1,0 +1,319 @@
+//! BGP rewriting: apply an [`AlignmentStore`] to a query.
+//!
+//! Both rewriters implement the same semantics; they differ only in how rule
+//! candidates are found per triple pattern:
+//!
+//! * [`IndexedRewriter`] — O(1) hash lookups against the store's entity and
+//!   predicate indexes. This is the production path.
+//! * [`LinearRewriter`] — scans the full rule list per pattern, the way a
+//!   naive implementation would. Kept behind the same [`Rewriter`] trait as
+//!   the benchmark baseline.
+//!
+//! Semantics (single pass, in pattern order):
+//! 1. Entity alignments are applied to the subject, predicate, and object of
+//!    the pattern. The first rule in id order for a given source term wins.
+//! 2. The (possibly substituted) pattern is matched against predicate
+//!    templates; the first matching rule in id order replaces the pattern
+//!    with its instantiated right-hand side. Variables introduced by the
+//!    template (present in rhs, absent from lhs) are renamed to fresh
+//!    variables that cannot capture any variable of the query.
+//!
+//! Rewriting is not run to a fixpoint: rule sets are assumed to be composed
+//! offline (paper §4), so output vocabulary is never itself rewritten.
+
+use crate::align::{AlignmentStore, Rule};
+use crate::fxhash::FxHashSet;
+use crate::interner::Interner;
+use crate::pattern::{Bgp, Query, SelectList, TriplePattern};
+use crate::term::{Symbol, Term, TermKind};
+
+/// A BGP rewriting strategy. Object-safe so benchmarks can treat strategies
+/// uniformly.
+pub trait Rewriter {
+    /// Human-readable strategy name for benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Rewrite a bare BGP. `interner` must be the one the BGP's terms were
+    /// minted into; it is mutable because template expansion may intern
+    /// fresh variable names.
+    fn rewrite_bgp(&self, bgp: &Bgp, interner: &mut Interner) -> Bgp;
+
+    /// Rewrite a full query: the projection is preserved, the BGP is
+    /// rewritten. Projection variables are reserved so fresh variables can
+    /// never collide with them even if they do not occur in the BGP.
+    fn rewrite_query(&self, query: &Query, interner: &mut Interner) -> Query;
+}
+
+/// Production rewriter: hash-indexed candidate lookup.
+pub struct IndexedRewriter<'s> {
+    store: &'s AlignmentStore,
+}
+
+impl<'s> IndexedRewriter<'s> {
+    pub fn new(store: &'s AlignmentStore) -> Self {
+        IndexedRewriter { store }
+    }
+}
+
+/// Baseline rewriter: full rule-list scan per lookup.
+pub struct LinearRewriter<'s> {
+    store: &'s AlignmentStore,
+}
+
+impl<'s> LinearRewriter<'s> {
+    pub fn new(store: &'s AlignmentStore) -> Self {
+        LinearRewriter { store }
+    }
+}
+
+/// How a strategy finds rule candidates. The surrounding engine
+/// ([`rewrite_bgp_with`]) is shared, which is what guarantees the two
+/// rewriters are semantically identical.
+trait RuleLookup {
+    fn entity_target(&self, t: Term) -> Option<Term>;
+    /// First predicate rule (in id order) whose lhs matches `tp`.
+    fn matching_template(&self, tp: TriplePattern) -> Option<(TriplePattern, &[TriplePattern])>;
+}
+
+impl RuleLookup for IndexedRewriter<'_> {
+    #[inline]
+    fn entity_target(&self, t: Term) -> Option<Term> {
+        self.store.entity_target(t)
+    }
+
+    #[inline]
+    fn matching_template(&self, tp: TriplePattern) -> Option<(TriplePattern, &[TriplePattern])> {
+        let rules = self.store.rules();
+        for &id in self.store.predicate_candidates(tp.p) {
+            if let Rule::Predicate { lhs, rhs } = &rules[id as usize] {
+                if lhs_matches(*lhs, tp) {
+                    return Some((*lhs, rhs));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl RuleLookup for LinearRewriter<'_> {
+    fn entity_target(&self, t: Term) -> Option<Term> {
+        for rule in self.store.rules() {
+            if let Rule::Entity { from, to } = rule {
+                if *from == t {
+                    return Some(*to);
+                }
+            }
+        }
+        None
+    }
+
+    fn matching_template(&self, tp: TriplePattern) -> Option<(TriplePattern, &[TriplePattern])> {
+        for rule in self.store.rules() {
+            if let Rule::Predicate { lhs, rhs } = rule {
+                if lhs_matches(*lhs, tp) {
+                    return Some((*lhs, rhs));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Does template lhs match the query pattern? Template variables match
+/// anything (consistently — a repeated lhs variable must bind one term);
+/// concrete template terms require equality.
+#[inline]
+fn lhs_matches(lhs: TriplePattern, tp: TriplePattern) -> bool {
+    if lhs.p != tp.p && !lhs.p.is_var() {
+        return false;
+    }
+    for (l, q) in [(lhs.s, tp.s), (lhs.o, tp.o)] {
+        if !l.is_var() && l != q {
+            return false;
+        }
+    }
+    // Repeated-variable consistency across the three positions.
+    let pairs = [(lhs.s, tp.s), (lhs.p, tp.p), (lhs.o, tp.o)];
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            let (li, qi) = pairs[i];
+            let (lj, qj) = pairs[j];
+            if li.is_var() && li == lj && qi != qj {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Fresh-variable generator for template-introduced variables. Names are
+/// `g0, g1, …`, skipping any symbol already used as a variable name in the
+/// query (or by an earlier fresh variable), so capture is impossible.
+struct FreshVars {
+    counter: u32,
+    used: FxHashSet<Symbol>,
+}
+
+impl FreshVars {
+    fn reserve_bgp(&mut self, bgp: &Bgp) {
+        for tp in &bgp.patterns {
+            for t in tp.terms() {
+                if t.is_var() {
+                    self.used.insert(t.symbol());
+                }
+            }
+        }
+    }
+
+    fn next(&mut self, interner: &mut Interner) -> Term {
+        use std::fmt::Write;
+        let mut name = String::with_capacity(8);
+        loop {
+            name.clear();
+            write!(name, "g{}", self.counter).unwrap();
+            self.counter += 1;
+            let sym = interner.intern(&name);
+            if self.used.insert(sym) {
+                return Term::var(sym);
+            }
+        }
+    }
+}
+
+/// Instantiate a matched template: rhs with lhs-bound variables replaced by
+/// the query pattern's terms and unbound rhs variables replaced by fresh
+/// variables (consistently within this application).
+fn instantiate_template(
+    lhs: TriplePattern,
+    rhs: &[TriplePattern],
+    tp: TriplePattern,
+    fresh: &mut FreshVars,
+    interner: &mut Interner,
+    out: &mut Vec<TriplePattern>,
+) {
+    // Bindings from lhs variables to the query pattern's terms. At most
+    // three entries, so a flat array beats a hash map.
+    let mut bindings: [(Symbol, Term); 3] = [(Symbol(u32::MAX), tp.s); 3];
+    let mut n_bindings = 0;
+    for (l, q) in [(lhs.s, tp.s), (lhs.p, tp.p), (lhs.o, tp.o)] {
+        if l.is_var() {
+            bindings[n_bindings] = (l.symbol(), q);
+            n_bindings += 1;
+        }
+    }
+    // Fresh renames for rhs-introduced existentials, consistent across the
+    // rhs of this one application. Keyed by whole Term (not Symbol) because
+    // a blank `_:b` and a variable `?b` share an interned string but must
+    // rename independently.
+    let mut renames: Vec<(Term, Term)> = Vec::new();
+    let mut subst = |t: Term, fresh: &mut FreshVars, interner: &mut Interner| -> Term {
+        match t.kind() {
+            TermKind::Var => {
+                let sym = t.symbol();
+                for &(s, replacement) in &bindings[..n_bindings] {
+                    if s == sym {
+                        return replacement;
+                    }
+                }
+            }
+            // A blank node in a BGP is a non-distinguished variable, so a
+            // template blank is an existential too: it must be freshened
+            // per application (sharing one label across expansions would
+            // force unrelated solutions to co-bind) and must never capture
+            // a blank the query itself uses. Renaming it to a fresh
+            // variable is semantically equivalent.
+            TermKind::Blank => {}
+            _ => return t,
+        }
+        for &(s, replacement) in &renames {
+            if s == t {
+                return replacement;
+            }
+        }
+        let f = fresh.next(interner);
+        renames.push((t, f));
+        f
+    };
+    for template in rhs {
+        out.push(TriplePattern::new(
+            subst(template.s, fresh, interner),
+            subst(template.p, fresh, interner),
+            subst(template.o, fresh, interner),
+        ));
+    }
+}
+
+/// The shared rewrite engine: entity substitution then template expansion,
+/// per pattern, in order. `reserved` seeds the fresh-variable exclusion set
+/// (e.g. projection variables not occurring in the BGP).
+fn rewrite_bgp_with<L: RuleLookup>(
+    lookup: &L,
+    bgp: &Bgp,
+    reserved: &[Term],
+    interner: &mut Interner,
+) -> Bgp {
+    let mut fresh = FreshVars {
+        counter: 0,
+        used: FxHashSet::default(),
+    };
+    fresh.reserve_bgp(bgp);
+    for t in reserved {
+        if t.is_var() {
+            fresh.used.insert(t.symbol());
+        }
+    }
+    let mut out = Vec::with_capacity(bgp.patterns.len());
+    for &tp in &bgp.patterns {
+        let substituted = TriplePattern::new(
+            lookup.entity_target(tp.s).unwrap_or(tp.s),
+            lookup.entity_target(tp.p).unwrap_or(tp.p),
+            lookup.entity_target(tp.o).unwrap_or(tp.o),
+        );
+        match lookup.matching_template(substituted) {
+            Some((lhs, rhs)) => {
+                instantiate_template(lhs, rhs, substituted, &mut fresh, interner, &mut out)
+            }
+            None => out.push(substituted),
+        }
+    }
+    Bgp::new(out)
+}
+
+fn rewrite_query_with<L: RuleLookup>(lookup: &L, query: &Query, interner: &mut Interner) -> Query {
+    let reserved: &[Term] = match &query.select {
+        SelectList::Star => &[],
+        SelectList::Vars(vars) => vars,
+    };
+    Query {
+        select: query.select.clone(),
+        bgp: rewrite_bgp_with(lookup, &query.bgp, reserved, interner),
+    }
+}
+
+impl Rewriter for IndexedRewriter<'_> {
+    fn name(&self) -> &'static str {
+        "indexed"
+    }
+
+    fn rewrite_bgp(&self, bgp: &Bgp, interner: &mut Interner) -> Bgp {
+        rewrite_bgp_with(self, bgp, &[], interner)
+    }
+
+    fn rewrite_query(&self, query: &Query, interner: &mut Interner) -> Query {
+        rewrite_query_with(self, query, interner)
+    }
+}
+
+impl Rewriter for LinearRewriter<'_> {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn rewrite_bgp(&self, bgp: &Bgp, interner: &mut Interner) -> Bgp {
+        rewrite_bgp_with(self, bgp, &[], interner)
+    }
+
+    fn rewrite_query(&self, query: &Query, interner: &mut Interner) -> Query {
+        rewrite_query_with(self, query, interner)
+    }
+}

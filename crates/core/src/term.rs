@@ -1,0 +1,138 @@
+//! Interned RDF terms.
+//!
+//! A [`Term`] packs a 2-bit kind tag and a 30-bit interner symbol into a
+//! single `u32`, so a [`crate::pattern::TriplePattern`] is a 12-byte `Copy`
+//! struct and term equality/hashing are integer ops. The textual form lives
+//! in the [`crate::interner::Interner`]; terms are meaningless without the
+//! interner that minted them.
+
+use std::fmt;
+
+/// Index into an [`crate::interner::Interner`]. At most 2^30 distinct
+/// strings can be interned (the top two bits of a [`Term`] hold the kind).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    pub const MAX: u32 = (1 << 30) - 1;
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The syntactic category of an RDF term in a triple pattern.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum TermKind {
+    /// An IRI; the symbol resolves to the absolute IRI without angle brackets.
+    Iri = 0,
+    /// A literal; the symbol resolves to the full surface form, quotes and
+    /// any `@lang` / `^^<datatype>` suffix included.
+    Literal = 1,
+    /// A blank node; the symbol resolves to the label without `_:`.
+    Blank = 2,
+    /// A variable; the symbol resolves to the name without `?`/`$`.
+    Var = 3,
+}
+
+/// A tagged, interned RDF term: 4 bytes, `Copy`, integer compare/hash.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Term(u32);
+
+const TAG_SHIFT: u32 = 30;
+const SYM_MASK: u32 = (1 << TAG_SHIFT) - 1;
+
+impl Term {
+    #[inline]
+    pub fn new(kind: TermKind, sym: Symbol) -> Term {
+        debug_assert!(sym.0 <= Symbol::MAX);
+        Term(((kind as u32) << TAG_SHIFT) | (sym.0 & SYM_MASK))
+    }
+
+    #[inline]
+    pub fn iri(sym: Symbol) -> Term {
+        Term::new(TermKind::Iri, sym)
+    }
+
+    #[inline]
+    pub fn literal(sym: Symbol) -> Term {
+        Term::new(TermKind::Literal, sym)
+    }
+
+    #[inline]
+    pub fn blank(sym: Symbol) -> Term {
+        Term::new(TermKind::Blank, sym)
+    }
+
+    #[inline]
+    pub fn var(sym: Symbol) -> Term {
+        Term::new(TermKind::Var, sym)
+    }
+
+    #[inline]
+    pub fn kind(self) -> TermKind {
+        match self.0 >> TAG_SHIFT {
+            0 => TermKind::Iri,
+            1 => TermKind::Literal,
+            2 => TermKind::Blank,
+            _ => TermKind::Var,
+        }
+    }
+
+    #[inline]
+    pub fn symbol(self) -> Symbol {
+        Symbol(self.0 & SYM_MASK)
+    }
+
+    #[inline]
+    pub fn is_var(self) -> bool {
+        self.kind() == TermKind::Var
+    }
+
+    #[inline]
+    pub fn is_iri(self) -> bool {
+        self.kind() == TermKind::Iri
+    }
+
+    /// Raw packed representation; stable within one process, useful as a
+    /// compact hash key.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Term({:?}, #{})", self.kind(), self.symbol().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_is_four_bytes() {
+        assert_eq!(std::mem::size_of::<Term>(), 4);
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        for kind in [
+            TermKind::Iri,
+            TermKind::Literal,
+            TermKind::Blank,
+            TermKind::Var,
+        ] {
+            let t = Term::new(kind, Symbol(12345));
+            assert_eq!(t.kind(), kind);
+            assert_eq!(t.symbol(), Symbol(12345));
+        }
+        let t = Term::new(TermKind::Var, Symbol(Symbol::MAX));
+        assert_eq!(t.kind(), TermKind::Var);
+        assert_eq!(t.symbol(), Symbol(Symbol::MAX));
+    }
+}

@@ -1,0 +1,405 @@
+//! Rewriter semantics: entity substitution, predicate-template expansion,
+//! variable-capture avoidance, and indexed ≡ linear equivalence on random
+//! rule sets.
+
+use sparql_rewrite_core::{
+    parse_bgp, parse_query, AlignmentStore, Bgp, IndexedRewriter, Interner, LinearRewriter, Query,
+    Rewriter, SelectList, Term, TriplePattern,
+};
+
+fn iri(i: &mut Interner, s: &str) -> Term {
+    Term::iri(i.intern(s))
+}
+
+fn var(i: &mut Interner, s: &str) -> Term {
+    Term::var(i.intern(s))
+}
+
+#[test]
+fn entity_substitution_all_positions() {
+    let mut it = Interner::new();
+    let src = iri(&mut it, "http://src/Person");
+    let tgt = iri(&mut it, "http://tgt/Agent");
+    let src_p = iri(&mut it, "http://src/knows");
+    let tgt_p = iri(&mut it, "http://tgt/acquaintedWith");
+    let mut store = AlignmentStore::new();
+    store.add_entity(src, tgt).unwrap();
+    store.add_entity(src_p, tgt_p).unwrap();
+
+    // src appears as subject and object, src_p as predicate.
+    let bgp = Bgp::new(vec![
+        TriplePattern::new(src, src_p, src),
+        TriplePattern::new(var(&mut it, "x"), src_p, var(&mut it, "y")),
+    ]);
+    let rewritten = IndexedRewriter::new(&store).rewrite_bgp(&bgp, &mut it);
+    assert_eq!(
+        rewritten.patterns,
+        vec![
+            TriplePattern::new(tgt, tgt_p, tgt),
+            TriplePattern::new(var(&mut it, "x"), tgt_p, var(&mut it, "y")),
+        ]
+    );
+}
+
+#[test]
+fn entity_substitution_via_parsed_query() {
+    let mut it = Interner::new();
+    let query = parse_query(
+        "PREFIX src: <http://src/>\n\
+         SELECT ?name WHERE { ?p src:name ?name . ?p a src:Person }",
+        &mut it,
+    )
+    .unwrap();
+    let mut store = AlignmentStore::new();
+    store
+        .add_entity(
+            iri(&mut it, "http://src/Person"),
+            iri(&mut it, "http://tgt/Agent"),
+        )
+        .unwrap();
+    store
+        .add_entity(
+            iri(&mut it, "http://src/name"),
+            iri(&mut it, "http://tgt/label"),
+        )
+        .unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    let rendered = out.display(&it).to_string();
+    assert!(rendered.contains("<http://tgt/label>"), "{rendered}");
+    assert!(rendered.contains("<http://tgt/Agent>"), "{rendered}");
+    assert!(!rendered.contains("http://src/"), "{rendered}");
+    // rdf:type stays untouched.
+    assert!(
+        rendered.contains("<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn predicate_template_one_to_many_expansion() {
+    let mut it = Interner::new();
+    // ?x src:name ?n  =>  ?x tgt:firstName ?f . ?x tgt:lastName ?l
+    // (?f, ?l are template-introduced existentials)
+    let lhs = parse_bgp("?x <http://src/name> ?n", &mut it)
+        .unwrap()
+        .patterns[0];
+    let rhs = parse_bgp(
+        "?x <http://tgt/firstName> ?f . ?x <http://tgt/lastName> ?l",
+        &mut it,
+    )
+    .unwrap()
+    .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+
+    let query = parse_query(
+        "SELECT ?who WHERE { ?who <http://src/name> \"Ada\" }",
+        &mut it,
+    )
+    .unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    assert_eq!(out.bgp.patterns.len(), 2);
+    let [a, b] = [out.bgp.patterns[0], out.bgp.patterns[1]];
+    // ?x bound to ?who in both output patterns.
+    assert_eq!(a.s, var(&mut it, "who"));
+    assert_eq!(b.s, var(&mut it, "who"));
+    assert_eq!(a.p, iri(&mut it, "http://tgt/firstName"));
+    assert_eq!(b.p, iri(&mut it, "http://tgt/lastName"));
+    // The literal "Ada" bound nothing (lhs object ?n is unused in rhs);
+    // objects are fresh vars, distinct from each other.
+    assert!(a.o.is_var() && b.o.is_var());
+    assert_ne!(a.o, b.o);
+}
+
+#[test]
+fn template_with_concrete_lhs_object_matches_selectively() {
+    let mut it = Interner::new();
+    // Only rewrite `?x src:type src:Special` patterns.
+    let lhs = parse_bgp("?x <http://src/type> <http://src/Special>", &mut it)
+        .unwrap()
+        .patterns[0];
+    let rhs = parse_bgp("?x <http://tgt/kind> <http://tgt/Special>", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs.clone()).unwrap();
+
+    let hit = parse_bgp("?a <http://src/type> <http://src/Special>", &mut it).unwrap();
+    let miss = parse_bgp("?a <http://src/type> <http://src/Other>", &mut it).unwrap();
+    let rw = IndexedRewriter::new(&store);
+    let hit_out = rw.rewrite_bgp(&hit, &mut it);
+    assert_eq!(hit_out.patterns[0].p, iri(&mut it, "http://tgt/kind"));
+    let miss_out = rw.rewrite_bgp(&miss, &mut it);
+    assert_eq!(miss_out, miss, "non-matching object must not rewrite");
+}
+
+#[test]
+fn repeated_lhs_variable_requires_equal_terms() {
+    let mut it = Interner::new();
+    // ?x src:sameAs ?x — only matches reflexive patterns.
+    let lhs = parse_bgp("?x <http://src/sameAs> ?x", &mut it)
+        .unwrap()
+        .patterns[0];
+    let rhs = parse_bgp("?x <http://tgt/reflexive> ?x", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+    let rw = IndexedRewriter::new(&store);
+
+    let reflexive = parse_bgp("?a <http://src/sameAs> ?a", &mut it).unwrap();
+    let out = rw.rewrite_bgp(&reflexive, &mut it);
+    assert_eq!(out.patterns[0].p, iri(&mut it, "http://tgt/reflexive"));
+
+    let non_reflexive = parse_bgp("?a <http://src/sameAs> ?b", &mut it).unwrap();
+    let out = rw.rewrite_bgp(&non_reflexive, &mut it);
+    assert_eq!(out, non_reflexive);
+}
+
+#[test]
+fn fresh_variables_avoid_capture() {
+    let mut it = Interner::new();
+    // Template introduces ?m; the query already uses ?m AND the first few
+    // generated names (?g0, ?g1), so naive renaming would capture.
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs = parse_bgp("?s <http://tgt/p1> ?m . ?m <http://tgt/p2> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+
+    let query = parse_query(
+        "SELECT * WHERE { ?m <http://src/p> ?g0 . ?g0 <http://other/q> ?g1 }",
+        &mut it,
+    )
+    .unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    assert_eq!(out.bgp.patterns.len(), 3);
+    let intro = out.bgp.patterns[0].o; // the renamed ?m from the template
+    assert!(intro.is_var());
+    // The introduced variable is none of the query's variables.
+    for taken in ["m", "g0", "g1"] {
+        assert_ne!(intro, var(&mut it, taken), "captured ?{taken}");
+    }
+    // And it joins the two expanded patterns.
+    assert_eq!(out.bgp.patterns[1].s, intro);
+    // Untouched pattern still references the original ?g0/?g1.
+    assert_eq!(out.bgp.patterns[2].s, var(&mut it, "g0"));
+    assert_eq!(out.bgp.patterns[2].o, var(&mut it, "g1"));
+}
+
+#[test]
+fn fresh_variables_distinct_across_multiple_expansions() {
+    let mut it = Interner::new();
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs = parse_bgp("?s <http://tgt/p> ?m . ?m <http://tgt/q> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+
+    // The same rule fires twice; each expansion must mint a distinct ?m.
+    let query = parse_query(
+        "SELECT * WHERE { ?a <http://src/p> ?b . ?c <http://src/p> ?d }",
+        &mut it,
+    )
+    .unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    assert_eq!(out.bgp.patterns.len(), 4);
+    let m1 = out.bgp.patterns[0].o;
+    let m2 = out.bgp.patterns[2].o;
+    assert_ne!(m1, m2, "existentials from separate expansions must differ");
+}
+
+#[test]
+fn entity_substitution_feeds_template_matching() {
+    let mut it = Interner::new();
+    // Entity rule maps the predicate into the vocabulary the template
+    // expects; template must fire on the substituted pattern.
+    let old_p = iri(&mut it, "http://legacy/knows");
+    let src_p = iri(&mut it, "http://src/knows");
+    let mut store = AlignmentStore::new();
+    store.add_entity(old_p, src_p).unwrap();
+    let lhs = parse_bgp("?a <http://src/knows> ?b", &mut it)
+        .unwrap()
+        .patterns[0];
+    let rhs = parse_bgp("?b <http://tgt/knownBy> ?a", &mut it)
+        .unwrap()
+        .patterns;
+    store.add_predicate(lhs, rhs).unwrap();
+
+    let query = parse_bgp("?x <http://legacy/knows> ?y", &mut it).unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_bgp(&query, &mut it);
+    assert_eq!(
+        out.patterns,
+        vec![TriplePattern::new(
+            var(&mut it, "y"),
+            iri(&mut it, "http://tgt/knownBy"),
+            var(&mut it, "x"),
+        )]
+    );
+}
+
+#[test]
+fn first_matching_rule_wins_in_id_order() {
+    let mut it = Interner::new();
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs1 = parse_bgp("?s <http://tgt/first> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let rhs2 = parse_bgp("?s <http://tgt/second> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs1).unwrap();
+    store.add_predicate(lhs, rhs2).unwrap();
+    let query = parse_bgp("?x <http://src/p> ?y", &mut it).unwrap();
+    for out in [
+        IndexedRewriter::new(&store).rewrite_bgp(&query, &mut it),
+        LinearRewriter::new(&store).rewrite_bgp(&query, &mut it),
+    ] {
+        assert_eq!(out.patterns[0].p, iri(&mut it, "http://tgt/first"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-style equivalence: indexed and linear rewriters must agree on
+// random rule sets and random queries.
+// ---------------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn random_term(rng: &mut Rng, it: &mut Interner, vocab: usize) -> Term {
+    match rng.below(4) {
+        0 => Term::var(it.intern(&format!("v{}", rng.below(8)))),
+        1 => Term::iri(it.intern(&format!("http://ex/e{}", rng.below(vocab)))),
+        2 => Term::literal(it.intern(&format!("\"lit{}\"", rng.below(vocab)))),
+        _ => Term::blank(it.intern(&format!("b{}", rng.below(4)))),
+    }
+}
+
+#[test]
+fn property_indexed_equals_linear_on_random_rule_sets() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng(seed * 0x9e37_79b9);
+        let mut it = Interner::new();
+        let preds: Vec<Term> = (0..12)
+            .map(|i| Term::iri(it.intern(&format!("http://ex/p{i}"))))
+            .collect();
+        let mut store = AlignmentStore::new();
+        let n_rules = 1 + rng.below(40);
+        for _ in 0..n_rules {
+            if rng.below(2) == 0 {
+                // Entity rule between random concrete IRIs.
+                let from = Term::iri(it.intern(&format!("http://ex/e{}", rng.below(20))));
+                let to = Term::iri(it.intern(&format!("http://tgt/e{}", rng.below(20))));
+                store.add_entity(from, to).unwrap();
+            } else {
+                let s = if rng.below(2) == 0 {
+                    Term::var(it.intern("ts"))
+                } else {
+                    random_term(&mut rng, &mut it, 20)
+                };
+                let o = if rng.below(2) == 0 {
+                    Term::var(it.intern("to"))
+                } else {
+                    random_term(&mut rng, &mut it, 20)
+                };
+                let lhs = TriplePattern::new(s, preds[rng.below(preds.len())], o);
+                let n_rhs = 1 + rng.below(3);
+                let rhs: Vec<TriplePattern> = (0..n_rhs)
+                    .map(|k| {
+                        TriplePattern::new(
+                            if rng.below(2) == 0 {
+                                s
+                            } else {
+                                Term::var(it.intern(&format!("fresh{k}")))
+                            },
+                            Term::iri(it.intern(&format!("http://tgt/p{}", rng.below(12)))),
+                            if rng.below(2) == 0 {
+                                o
+                            } else {
+                                Term::var(it.intern(&format!("fresh{}", k + 1)))
+                            },
+                        )
+                    })
+                    .collect();
+                store.add_predicate(lhs, rhs).unwrap();
+            }
+        }
+        let n_patterns = 1 + rng.below(16);
+        let patterns: Vec<TriplePattern> = (0..n_patterns)
+            .map(|_| {
+                TriplePattern::new(
+                    random_term(&mut rng, &mut it, 20),
+                    if rng.below(4) == 0 {
+                        random_term(&mut rng, &mut it, 20)
+                    } else {
+                        preds[rng.below(preds.len())]
+                    },
+                    random_term(&mut rng, &mut it, 20),
+                )
+            })
+            .collect();
+        let query = Query {
+            select: SelectList::Star,
+            bgp: Bgp::new(patterns),
+        };
+        let indexed = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+        let linear = LinearRewriter::new(&store).rewrite_query(&query, &mut it);
+        assert_eq!(
+            indexed,
+            linear,
+            "seed {seed}: indexed and linear rewriters disagree\nindexed: {}\nlinear: {}",
+            indexed.display(&it),
+            linear.display(&it)
+        );
+    }
+}
+
+#[test]
+fn template_blank_nodes_freshened_per_expansion() {
+    let mut it = Interner::new();
+    // rhs introduces a blank node — an existential that must not be shared
+    // across independent expansions, nor capture the query's own _:b.
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs = parse_bgp("?s <http://tgt/p> _:b", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+
+    let query = parse_query(
+        "SELECT * WHERE { ?a <http://src/p> ?x . ?c <http://src/p> ?d . _:b <http://other/q> ?e }",
+        &mut it,
+    )
+    .unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    assert_eq!(out.bgp.patterns.len(), 3);
+    let o1 = out.bgp.patterns[0].o;
+    let o2 = out.bgp.patterns[1].o;
+    let query_blank = Term::blank(it.intern("b"));
+    assert_ne!(o1, o2, "one existential shared across expansions");
+    assert_ne!(o1, query_blank, "captured the query's _:b");
+    assert_ne!(o2, query_blank, "captured the query's _:b");
+    // The query's own blank node passes through untouched.
+    assert_eq!(out.bgp.patterns[2].s, query_blank);
+    // Indexed and linear still agree.
+    let lin = LinearRewriter::new(&store).rewrite_query(&query, &mut it);
+    assert_eq!(out, lin);
+}

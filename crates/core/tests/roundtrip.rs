@@ -1,0 +1,145 @@
+//! Round-trip serialization: parse → rewrite with an empty rule set →
+//! render must be idempotent, and rendered text must re-parse to the same
+//! structure.
+
+use sparql_rewrite_core::{parse_query, AlignmentStore, IndexedRewriter, Interner, Rewriter};
+
+const QUERIES: &[&str] = &[
+    "SELECT * WHERE { ?s ?p ?o }",
+    "SELECT ?s ?o WHERE { ?s <http://ex.org/p> ?o . }",
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+     SELECT ?name ?mbox WHERE {\n\
+       ?x foaf:name ?name ;\n\
+          foaf:mbox ?mbox .\n\
+       ?x a foaf:Person\n\
+     }",
+    "PREFIX ex: <http://ex.org/>\n\
+     SELECT ?a WHERE { ?a ex:p \"plain\" , \"tagged\"@en , \
+      \"7\"^^<http://www.w3.org/2001/XMLSchema#integer> }",
+    "SELECT * WHERE { _:b <http://ex.org/p> ?v . ?v <http://ex.org/q> _:b }",
+    // Bare group pattern without the WHERE keyword.
+    "SELECT ?x { ?x <http://ex.org/p> <http://ex.org/o> }",
+];
+
+#[test]
+fn parse_rewrite_empty_render_is_idempotent() {
+    let store = AlignmentStore::new();
+    for input in QUERIES {
+        let mut interner = Interner::new();
+        let parsed = parse_query(input, &mut interner).unwrap_or_else(|e| {
+            panic!("failed to parse {input:?}: {e}");
+        });
+        let rewriter = IndexedRewriter::new(&store);
+        let rewritten = rewriter.rewrite_query(&parsed, &mut interner);
+        assert_eq!(
+            rewritten, parsed,
+            "empty rule set must be the identity rewrite for {input:?}"
+        );
+        let rendered = rewritten.display(&interner).to_string();
+
+        // The rendered text is valid SPARQL for this fragment: it parses,
+        // and it parses to the same structure.
+        let reparsed = parse_query(&rendered, &mut interner).unwrap_or_else(|e| {
+            panic!("rendered text failed to re-parse: {e}\n--- rendered ---\n{rendered}");
+        });
+        assert_eq!(
+            reparsed, parsed,
+            "render → parse must be the identity for {input:?}\n--- rendered ---\n{rendered}"
+        );
+
+        // Full fixpoint: rendering the reparsed query reproduces the text.
+        let rerendered = reparsed.display(&interner).to_string();
+        assert_eq!(rendered, rerendered, "rendering must be a fixpoint");
+    }
+}
+
+#[test]
+fn rendered_rewrite_reparses() {
+    // A non-empty rewrite also renders to parseable SPARQL.
+    let mut interner = Interner::new();
+    let query = parse_query(
+        "PREFIX src: <http://src.org/>\nSELECT ?n WHERE { ?x src:name ?n }",
+        &mut interner,
+    )
+    .unwrap();
+    let mut store = AlignmentStore::new();
+    let lhs = sparql_rewrite_core::parse_bgp("?a <http://src.org/name> ?b", &mut interner)
+        .unwrap()
+        .patterns[0];
+    let rhs = sparql_rewrite_core::parse_bgp(
+        "?a <http://tgt.org/first> ?f . ?a <http://tgt.org/last> ?l",
+        &mut interner,
+    )
+    .unwrap()
+    .patterns;
+    store.add_predicate(lhs, rhs).unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut interner);
+    let rendered = out.display(&interner).to_string();
+    let reparsed = parse_query(&rendered, &mut interner).unwrap();
+    assert_eq!(reparsed, out);
+    assert_eq!(reparsed.bgp.patterns.len(), 2);
+}
+
+#[test]
+fn unsupported_constructs_error_cleanly() {
+    let mut interner = Interner::new();
+    for q in [
+        "SELECT * WHERE { ?s ?p ?o . OPTIONAL { ?s ?q ?r } }",
+        "SELECT * WHERE { { ?s ?p ?o } UNION { ?s ?q ?r } }",
+        "SELECT * WHERE { ?s ?p ?o . FILTER(?o > 3) }",
+    ] {
+        // UNION appears after a nested group, which is itself unsupported —
+        // both must fail, never silently drop patterns.
+        assert!(parse_query(q, &mut interner).is_err(), "accepted: {q}");
+    }
+    // Undeclared prefix.
+    assert!(parse_query("SELECT * WHERE { ?s foaf:name ?o }", &mut interner).is_err());
+}
+
+#[test]
+fn datatype_qname_expands_to_full_iri() {
+    let mut interner = Interner::new();
+    let prologue = "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n";
+    let q1 = parse_query(
+        &format!("{prologue}SELECT * WHERE {{ ?s <http://p> \"5\"^^xsd:int }}"),
+        &mut interner,
+    )
+    .unwrap();
+    let q2 = parse_query(
+        "SELECT * WHERE { ?s <http://p> \"5\"^^<http://www.w3.org/2001/XMLSchema#int> }",
+        &mut interner,
+    )
+    .unwrap();
+    // QName and full-IRI spellings intern to the same literal symbol...
+    assert_eq!(q1.bgp.patterns[0].o, q2.bgp.patterns[0].o);
+    // ...and the rendered form is prefix-free, so it re-parses standalone.
+    let rendered = q1.display(&interner).to_string();
+    assert!(
+        rendered.contains("^^<http://www.w3.org/2001/XMLSchema#int>"),
+        "{rendered}"
+    );
+    assert_eq!(parse_query(&rendered, &mut interner).unwrap(), q1);
+}
+
+#[test]
+fn malformed_literal_suffixes_are_rejected() {
+    let mut interner = Interner::new();
+    for q in [
+        "SELECT * WHERE { ?s <http://p> \"x\"@ }", // empty language tag
+        "SELECT * WHERE { ?s <http://p> \"x\"^^ }", // empty datatype
+        "SELECT * WHERE { ?s <http://p> \"5\"^^xsd:int }", // undeclared prefix
+    ] {
+        assert!(parse_query(q, &mut interner).is_err(), "accepted: {q}");
+    }
+}
+
+#[test]
+fn bare_bgp_rejects_trailing_input_after_brace() {
+    let mut interner = Interner::new();
+    let err =
+        sparql_rewrite_core::parse_bgp("{ ?s <http://p> ?o } ?x <http://q> ?y", &mut interner);
+    assert!(
+        err.is_err(),
+        "trailing patterns after '}}' must not be dropped"
+    );
+}
