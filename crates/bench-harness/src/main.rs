@@ -1,22 +1,37 @@
 //! Benchmark runner: measures indexed vs linear BGP rewriting over
-//! synthetic workloads and writes `BENCH_core.json`.
+//! synthetic workloads, thread-scaling of the shared-read-only batch
+//! engine, and allocations per rewrite — then writes `BENCH_core.json`.
 //!
 //! ```text
 //! cargo run --release -p bench-harness            # full grid -> BENCH_core.json
 //! cargo run --release -p bench-harness -- --quick # small grid, short budgets
 //! cargo run --release -p bench-harness -- --out path.json
 //! ```
+//!
+//! In both modes the run doubles as a regression gate: it exits nonzero if
+//! steady-state rewriting allocates, if indexed throughput falls under a
+//! conservative floor, or if the indexed/linear speedup collapses — so CI's
+//! `--quick` smoke run fails loudly on perf regressions in the rewrite path.
 
 mod bench;
 mod json;
+mod parallel;
 mod workload;
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use bench::{Bencher, Stats};
 use json::{array, JsonObject};
-use sparql_rewrite_core::{IndexedRewriter, LinearRewriter, Rewriter};
+use parallel::BatchEngine;
+use sparql_rewrite_core::counting_alloc::{allocation_count, CountingAllocator};
+use sparql_rewrite_core::{IndexedRewriter, Interner, LinearRewriter, RewriteScratch, Rewriter};
 use workload::{generate, WorkloadSpec};
+
+// Counting allocator (shared with the core crate's alloc_free test) so the
+// harness can report — and gate on — allocations per steady-state rewrite.
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 struct ConfigResult {
     n_rules: usize,
@@ -25,6 +40,8 @@ struct ConfigResult {
     ns_per_query: f64,
     ns_per_pattern: f64,
     patterns_per_sec: f64,
+    /// Heap allocations per `rewrite_query_into` call at steady state.
+    allocs_per_rewrite: f64,
     stats: Stats,
 }
 
@@ -51,12 +68,22 @@ fn run_config(
     };
 
     let queries = std::mem::take(&mut w.queries);
-    let interner = &mut w.interner;
+    let mut scratch = RewriteScratch::new();
     let stats = bencher.run(|| {
         for q in &queries {
-            std::hint::black_box(strategy.rewrite_query(q, interner));
+            strategy.rewrite_query_into(q, &mut scratch);
+            std::hint::black_box(scratch.patterns());
         }
     });
+
+    // Steady state reached during the bench warm-up: count allocations over
+    // one more full pass.
+    let before = allocation_count();
+    for q in &queries {
+        strategy.rewrite_query_into(q, &mut scratch);
+        std::hint::black_box(scratch.patterns());
+    }
+    let allocs_per_rewrite = (allocation_count() - before) as f64 / queries.len() as f64;
 
     // One bench iteration rewrites the whole batch.
     let ns_per_query = stats.median_ns / queries.len() as f64;
@@ -68,7 +95,88 @@ fn run_config(
         ns_per_query,
         ns_per_pattern,
         patterns_per_sec: 1e9 / ns_per_pattern,
+        allocs_per_rewrite,
         stats,
+    }
+}
+
+struct ThreadResult {
+    threads: usize,
+    patterns_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+struct ScalingReport {
+    results: Vec<ThreadResult>,
+    /// Rewriting the workload on 1 thread and on max(thread_counts) threads
+    /// produced identical queries AND identical rendered text.
+    deterministic: bool,
+}
+
+/// Thread-scaling sweep of the batch engine: one shared `Arc` rule set and
+/// frozen interner, N workers, contiguous chunks, warmed scratches.
+fn run_thread_scaling(quick: bool, thread_counts: &[usize]) -> ScalingReport {
+    let spec = WorkloadSpec {
+        n_rules: if quick { 1_000 } else { 10_000 },
+        patterns_per_query: 8,
+        n_queries: 256,
+        seed: 0x0007_4ead_5ca1_e000,
+    };
+    let mut w = generate(&spec);
+    let store = Arc::new(std::mem::take(&mut w.store));
+    let frozen = Arc::new(std::mem::replace(&mut w.interner, Interner::new()).freeze());
+    let engine = BatchEngine::new(store, frozen);
+    let queries = std::mem::take(&mut w.queries);
+
+    // Calibrate reps so the 1-thread run lasts ~budget.
+    let budget = if quick {
+        Duration::from_millis(100)
+    } else {
+        Duration::from_millis(400)
+    };
+    let probe = engine
+        .timed_run(&queries, 1, 4)
+        .max(Duration::from_micros(50));
+    let per_pass = probe.as_secs_f64() / 5.0; // 4 reps + warm pass
+    let reps = ((budget.as_secs_f64() / per_pass) as u32).clamp(4, 100_000);
+
+    let mut results = Vec::new();
+    let mut base = 0.0f64;
+    for &threads in thread_counts {
+        // Median of three runs; spawn/join noise dominates tails on small
+        // budgets.
+        let mut secs: Vec<f64> = (0..3)
+            .map(|_| engine.timed_run(&queries, threads, reps).as_secs_f64())
+            .collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let elapsed = secs[1];
+        // The untimed-warm pass inside timed_run does the same work, so
+        // count reps + 1 passes.
+        let patterns = w.total_patterns as f64 * (reps as f64 + 1.0);
+        let pps = patterns / elapsed;
+        if threads == 1 {
+            base = pps;
+        }
+        results.push(ThreadResult {
+            threads,
+            patterns_per_sec: pps,
+            speedup_vs_1: if base > 0.0 { pps / base } else { 0.0 },
+        });
+    }
+
+    // Determinism: the fresh-counter scheme is per-query, so the rewritten
+    // batch (and its rendered text) must not depend on the thread count.
+    let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let one = engine.rewrite_all(&queries, 1);
+    let many = engine.rewrite_all(&queries, max_threads);
+    let deterministic = one == many
+        && one.iter().zip(&many).all(|(a, b)| {
+            a.display(engine.interner()).to_string() == b.display(engine.interner()).to_string()
+        });
+
+    ScalingReport {
+        results,
+        deterministic,
     }
 }
 
@@ -81,6 +189,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_core.json".to_string());
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let (rule_counts, pattern_counts): (&[usize], &[usize]) = if quick {
         (&[1_000, 10_000], &[4, 16])
@@ -99,21 +211,22 @@ fn main() {
 
     let mut results: Vec<ConfigResult> = Vec::new();
     eprintln!(
-        "{:>8} {:>9} {:>9} {:>14} {:>14} {:>16}",
-        "rules", "patterns", "strategy", "ns/query", "ns/pattern", "patterns/sec"
+        "{:>8} {:>9} {:>9} {:>14} {:>14} {:>16} {:>8}",
+        "rules", "patterns", "strategy", "ns/query", "ns/pattern", "patterns/sec", "allocs"
     );
     for &n_rules in rule_counts {
         for &ppq in pattern_counts {
             for linear in [false, true] {
                 let r = run_config(&bencher, n_rules, ppq, linear);
                 eprintln!(
-                    "{:>8} {:>9} {:>9} {:>14.0} {:>14.1} {:>16.0}",
+                    "{:>8} {:>9} {:>9} {:>14.0} {:>14.1} {:>16.0} {:>8.2}",
                     r.n_rules,
                     r.patterns_per_query,
                     r.strategy,
                     r.ns_per_query,
                     r.ns_per_pattern,
-                    r.patterns_per_sec
+                    r.patterns_per_sec,
+                    r.allocs_per_rewrite
                 );
                 results.push(r);
             }
@@ -148,6 +261,28 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     eprintln!("indexed throughput floor: {min_indexed_throughput:.0} patterns/sec");
 
+    // Thread-scaling sweep of the shared-read-only batch engine.
+    let thread_counts: &[usize] = &[1, 2, 4, 8];
+    eprintln!("thread scaling (batch engine, host has {host_cpus} cpu(s)):");
+    let scaling = run_thread_scaling(quick, thread_counts);
+    let thread_results = &scaling.results;
+    for t in thread_results {
+        eprintln!(
+            "  {:>2} thread(s): {:>14.0} patterns/sec  ({:.2}x vs 1 thread)",
+            t.threads, t.patterns_per_sec, t.speedup_vs_1
+        );
+    }
+
+    let max_allocs = results
+        .iter()
+        .map(|r| r.allocs_per_rewrite)
+        .fold(0.0f64, f64::max);
+    let scaling_4t = thread_results
+        .iter()
+        .find(|t| t.threads == 4)
+        .map(|t| t.speedup_vs_1)
+        .unwrap_or(0.0);
+
     let configs = array(results.iter().map(|r| {
         let mut o = JsonObject::new();
         o.int("rules", r.n_rules as u64)
@@ -156,6 +291,7 @@ fn main() {
             .num("ns_per_query_median", r.ns_per_query)
             .num("ns_per_pattern_median", r.ns_per_pattern)
             .num("patterns_per_sec", r.patterns_per_sec)
+            .num("allocs_per_rewrite", r.allocs_per_rewrite)
             .num("sample_mean_ns", r.stats.mean_ns)
             .num("sample_stddev_ns", r.stats.stddev_ns)
             .num("sample_min_ns", r.stats.min_ns)
@@ -170,21 +306,33 @@ fn main() {
             .num("speedup_indexed_vs_linear_geomean", *geo);
         o.finish()
     }));
+    let scaling_json = array(thread_results.iter().map(|t| {
+        let mut o = JsonObject::new();
+        o.int("threads", t.threads as u64)
+            .num("patterns_per_sec", t.patterns_per_sec)
+            .num("speedup_vs_1_thread", t.speedup_vs_1);
+        o.finish()
+    }));
     let mut summary = JsonObject::new();
     summary
         .raw("speedup_by_rule_count", &speedup_json)
-        .num("indexed_patterns_per_sec_min", min_indexed_throughput);
+        .num("indexed_patterns_per_sec_min", min_indexed_throughput)
+        .num("allocs_per_rewrite_max", max_allocs)
+        .num("thread_scaling_speedup_at_4", scaling_4t);
 
     let mut root = JsonObject::new();
     root.str("benchmark", "bgp_rewriting_core")
         .str(
             "description",
             "indexed vs linear alignment-rule lookup while rewriting synthetic BGPs \
-             (Correndo et al. EDBT 2010 rewriting model)",
+             (Correndo et al. EDBT 2010 rewriting model), plus thread-scaling of the \
+             shared-read-only batch engine",
         )
         .str("unit", "ns per rewritten query / triple pattern, medians")
         .str("mode", if quick { "quick" } else { "full" })
+        .int("host_cpus", host_cpus as u64)
         .raw("configs", &configs)
+        .raw("thread_scaling", &scaling_json)
         .raw("summary", &summary.finish());
     let doc = root.finish();
 
@@ -193,4 +341,48 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {out_path}");
+
+    // ---- Regression gates (CI runs --quick; a failed gate fails the job) ----
+    let mut failures: Vec<String> = Vec::new();
+    if max_allocs > 0.0 {
+        failures.push(format!(
+            "steady-state rewriting allocated ({max_allocs:.2} allocs/rewrite, expected 0)"
+        ));
+    }
+    // Conservative absolute floor: the indexed path sustains ~10M
+    // patterns/sec on a 2020s laptop core; 250k leaves 40x headroom for
+    // slow CI machines while still catching accidental O(rules) work.
+    if min_indexed_throughput < 250_000.0 {
+        failures.push(format!(
+            "indexed throughput floor {min_indexed_throughput:.0} patterns/sec < 250000"
+        ));
+    }
+    if let Some((n_rules, geo)) = speedups.last() {
+        if *geo < 2.0 {
+            failures.push(format!(
+                "indexed vs linear speedup collapsed: {geo:.2}x at {n_rules} rules (< 2x)"
+            ));
+        }
+    }
+    // Thread scaling is only gated where the hardware can express it, and
+    // the quick (CI) threshold is deliberately loose: shared CI runners
+    // report 4 vCPUs but contend for physical cores, so 1.2x there still
+    // catches a reintroduced global lock (~1.0x) without flaking on noisy
+    // neighbors. The full-mode threshold matches the acceptance target.
+    let scaling_floor = if quick { 1.2 } else { 2.0 };
+    if host_cpus >= 4 && scaling_4t < scaling_floor {
+        failures.push(format!(
+            "4-thread batch speedup {scaling_4t:.2}x < {scaling_floor}x on a {host_cpus}-cpu host"
+        ));
+    }
+    if !scaling.deterministic {
+        failures.push("parallel batch output diverged from the 1-thread rewrite".to_string());
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("PERF GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("perf gates passed");
 }

@@ -191,12 +191,12 @@ mod tests {
             n_queries: 20,
             seed: 7,
         };
-        let mut w = generate(&spec);
+        let w = generate(&spec);
         let indexed = IndexedRewriter::new(&w.store);
         let linear = LinearRewriter::new(&w.store);
         for q in &w.queries {
-            let a = indexed.rewrite_query(q, &mut w.interner);
-            let b = linear.rewrite_query(q, &mut w.interner);
+            let a = indexed.rewrite_query(q);
+            let b = linear.rewrite_query(q);
             assert_eq!(a, b);
         }
     }

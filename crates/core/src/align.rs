@@ -54,6 +54,11 @@ pub enum AlignError {
     VariableEntity,
     /// Empty right-hand side would silently delete query patterns.
     EmptyTemplate,
+    /// Rule templates must not contain rewriter-minted
+    /// [`TermKind::Fresh`](crate::term::TermKind::Fresh) terms — their
+    /// counters are meaningful only within one rewrite call, so a rule
+    /// carrying one could capture the engine's own existentials.
+    FreshTerm,
 }
 
 impl std::fmt::Display for AlignError {
@@ -67,6 +72,9 @@ impl std::fmt::Display for AlignError {
             }
             AlignError::EmptyTemplate => {
                 f.write_str("predicate alignment right-hand side must be non-empty")
+            }
+            AlignError::FreshTerm => {
+                f.write_str("alignment rules must not contain fresh (rewriter-minted) terms")
             }
         }
     }
@@ -97,6 +105,9 @@ impl AlignmentStore {
         if from.is_var() || to.is_var() {
             return Err(AlignError::VariableEntity);
         }
+        if from.is_fresh() || to.is_fresh() {
+            return Err(AlignError::FreshTerm);
+        }
         let id = self.next_id();
         self.rules.push(Rule::Entity { from, to });
         self.entity_idx.entry(from.raw()).or_insert(id);
@@ -114,6 +125,14 @@ impl AlignmentStore {
         }
         if rhs.is_empty() {
             return Err(AlignError::EmptyTemplate);
+        }
+        if lhs
+            .terms()
+            .into_iter()
+            .chain(rhs.iter().flat_map(|tp| tp.terms()))
+            .any(Term::is_fresh)
+        {
+            return Err(AlignError::FreshTerm);
         }
         let id = self.next_id();
         self.predicate_idx
@@ -158,7 +177,9 @@ impl AlignmentStore {
     /// entity-rewritten, never template-expanded).
     #[inline]
     pub fn predicate_candidates(&self, p: Term) -> &[u32] {
-        if p.is_var() {
+        // A fresh predicate carries a counter, not a symbol — it must never
+        // alias a real predicate symbol in the index.
+        if p.is_var() || p.is_fresh() {
             return &[];
         }
         self.predicate_idx

@@ -1,0 +1,50 @@
+//! Test/bench support: a counting wrapper around the system allocator.
+//!
+//! Shared by the core crate's `tests/alloc_free.rs` and the bench harness
+//! so the two zero-allocation checks count identically and cannot drift.
+//! Each binary that wants counting must still register it itself:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: sparql_rewrite_core::counting_alloc::CountingAllocator =
+//!     sparql_rewrite_core::counting_alloc::CountingAllocator;
+//! ```
+//!
+//! Counts every `alloc`/`alloc_zeroed`/`realloc`; frees are irrelevant to
+//! the zero-allocation claim. The counter is process-global — callers that
+//! measure a window must ensure nothing else allocates concurrently (e.g.
+//! serialize tests around it).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Total allocation events since process start (or since the last
+/// snapshot's baseline — callers diff two reads).
+pub fn allocation_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

@@ -1,21 +1,49 @@
-//! String interner mapping term text to 30-bit [`Symbol`]s.
+//! String interner mapping term text to 29-bit [`Symbol`]s, and its frozen,
+//! shareable counterpart for the serve phase.
 //!
-//! Interning happens once per distinct string at parse/load time; the hot
-//! rewrite path never touches strings, only `u32` symbols. Lookup uses the
-//! [FxHash](crate::fxhash) hasher — short IRIs and QName expansions dominate
-//! the key distribution and Fx beats SipHash on them by a wide margin.
+//! The lifecycle mirrors the engine's two phases:
+//!
+//! * **Build phase** — an [`Interner`] is mutable and append-only: the
+//!   parser and rule loaders intern each distinct string once.
+//! * **Serve phase** — [`Interner::freeze`] converts it into a
+//!   [`FrozenInterner`]: immutable, `Send + Sync`, `Arc`-shareable across
+//!   worker threads, with a resolve path that is a plain slice index.
+//!
+//! Each string is owned exactly once: the lookup table is an open-addressing
+//! array of symbol indices (a raw-entry-style hash-of-index map), not a
+//! `HashMap<Box<str>, u32>` that would duplicate every key. Hashing uses
+//! [FxHash](crate::fxhash) — short IRIs and QName expansions dominate the
+//! key distribution and Fx beats SipHash on them by a wide margin.
 
-use crate::fxhash::FxHashMap;
+use std::hash::Hasher;
+
+use crate::fxhash::FxHasher;
 use crate::term::Symbol;
+
+/// Anything that can turn a [`Symbol`] back into its text. Implemented by
+/// both interner phases so rendering code is agnostic to which one it holds.
+pub trait Resolve {
+    fn resolve(&self, sym: Symbol) -> &str;
+}
+
+const EMPTY: u32 = u32::MAX;
+
+#[inline]
+fn hash_str(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
 
 /// Append-only string interner. Symbols are dense indices starting at 0.
 #[derive(Default, Debug)]
 pub struct Interner {
-    map: FxHashMap<Box<str>, u32>,
-    // Owned copies of the keys, indexed by symbol. Strings are stored twice
-    // (map key + vec slot); this doubles intern-time allocation but keeps the
-    // implementation safe and the resolve path a plain slice index.
+    /// The single owned copy of each interned string, indexed by symbol.
     strings: Vec<Box<str>>,
+    /// Open-addressing table of symbol indices (`EMPTY` = vacant), sized to
+    /// a power of two. Probing rehashes the candidate's string on compare,
+    /// so no second copy of any key is stored.
+    table: Vec<u32>,
 }
 
 impl Interner {
@@ -24,17 +52,41 @@ impl Interner {
     }
 
     /// Intern `s`, returning its symbol. O(1) amortized; allocates only the
-    /// first time a string is seen.
+    /// first time a string is seen — and then exactly one owned copy.
     pub fn intern(&mut self, s: &str) -> Symbol {
-        if let Some(&id) = self.map.get(s) {
-            return Symbol(id);
+        if self.strings.len() * 4 >= self.table.len() * 3 {
+            self.grow();
         }
-        let id = u32::try_from(self.strings.len()).expect("interner overflow");
-        assert!(id <= Symbol::MAX, "interner exceeded 2^30 symbols");
-        let owned: Box<str> = s.into();
-        self.strings.push(owned.clone());
-        self.map.insert(owned, id);
-        Symbol(id)
+        let mask = self.table.len() - 1;
+        let mut i = hash_str(s) as usize & mask;
+        loop {
+            let slot = self.table[i];
+            if slot == EMPTY {
+                let id = u32::try_from(self.strings.len()).expect("interner overflow");
+                assert!(id <= Symbol::MAX, "interner exceeded 2^29 symbols");
+                self.strings.push(s.into());
+                self.table[i] = id;
+                return Symbol(id);
+            }
+            if &*self.strings[slot as usize] == s {
+                return Symbol(slot);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.table.len() * 2).max(16);
+        let mask = new_cap - 1;
+        let mut table = vec![EMPTY; new_cap];
+        for (id, s) in self.strings.iter().enumerate() {
+            let mut i = hash_str(s) as usize & mask;
+            while table[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            table[i] = id as u32;
+        }
+        self.table = table;
     }
 
     /// Look up a symbol minted by this interner.
@@ -45,7 +97,7 @@ impl Interner {
 
     /// Symbol for `s` if it has already been interned.
     pub fn get(&self, s: &str) -> Option<Symbol> {
-        self.map.get(s).map(|&id| Symbol(id))
+        lookup(&self.table, &self.strings, s)
     }
 
     pub fn len(&self) -> usize {
@@ -54,6 +106,88 @@ impl Interner {
 
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
+    }
+
+    /// End the build phase: convert into an immutable, `Send + Sync`
+    /// interner that worker threads can share behind an `Arc`. Symbols
+    /// minted by `self` resolve identically in the frozen form.
+    pub fn freeze(self) -> FrozenInterner {
+        FrozenInterner {
+            strings: self.strings.into_boxed_slice(),
+            table: self.table.into_boxed_slice(),
+        }
+    }
+}
+
+fn lookup(table: &[u32], strings: &[Box<str>], s: &str) -> Option<Symbol> {
+    if table.is_empty() {
+        return None;
+    }
+    let mask = table.len() - 1;
+    let mut i = hash_str(s) as usize & mask;
+    loop {
+        let slot = table[i];
+        if slot == EMPTY {
+            return None;
+        }
+        if &*strings[slot as usize] == s {
+            return Some(Symbol(slot));
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+/// The serve-phase interner: frozen symbol table shared read-only by every
+/// worker thread. Resolution is a bounds-checked slice index; there is no
+/// interior mutability, so `FrozenInterner` is `Send + Sync` by
+/// construction.
+#[derive(Debug)]
+pub struct FrozenInterner {
+    strings: Box<[Box<str>]>,
+    table: Box<[u32]>,
+}
+
+impl FrozenInterner {
+    /// Look up a symbol minted during the build phase.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Symbol for `s` if it was interned before the freeze.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        lookup(&self.table, &self.strings, s)
+    }
+
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Re-enter the build phase (e.g. to load an additional rule set),
+    /// preserving every existing symbol.
+    pub fn thaw(self) -> Interner {
+        Interner {
+            strings: self.strings.into_vec(),
+            table: self.table.into_vec(),
+        }
+    }
+}
+
+impl Resolve for Interner {
+    #[inline]
+    fn resolve(&self, sym: Symbol) -> &str {
+        Interner::resolve(self, sym)
+    }
+}
+
+impl Resolve for FrozenInterner {
+    #[inline]
+    fn resolve(&self, sym: Symbol) -> &str {
+        FrozenInterner::resolve(self, sym)
     }
 }
 
@@ -74,5 +208,56 @@ mod tests {
         assert_eq!(i.len(), 2);
         assert_eq!(i.get("http://example.org/b"), Some(b));
         assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn survives_table_growth() {
+        let mut it = Interner::new();
+        let syms: Vec<Symbol> = (0..10_000)
+            .map(|n| it.intern(&format!("http://example.org/resource/{n}")))
+            .collect();
+        assert_eq!(it.len(), 10_000);
+        for (n, sym) in syms.iter().enumerate() {
+            assert_eq!(it.resolve(*sym), format!("http://example.org/resource/{n}"));
+            assert_eq!(
+                it.get(&format!("http://example.org/resource/{n}")),
+                Some(*sym)
+            );
+        }
+        // Re-interning after growth still dedups.
+        assert_eq!(it.intern("http://example.org/resource/123"), syms[123]);
+        assert_eq!(it.len(), 10_000);
+    }
+
+    #[test]
+    fn freeze_preserves_symbols_and_thaw_round_trips() {
+        let mut it = Interner::new();
+        let a = it.intern("alpha");
+        let b = it.intern("beta");
+        let frozen = it.freeze();
+        assert_eq!(frozen.resolve(a), "alpha");
+        assert_eq!(frozen.resolve(b), "beta");
+        assert_eq!(frozen.get("beta"), Some(b));
+        assert_eq!(frozen.get("gamma"), None);
+        assert_eq!(frozen.len(), 2);
+
+        let mut thawed = frozen.thaw();
+        assert_eq!(thawed.intern("alpha"), a, "thaw must keep old symbols");
+        let c = thawed.intern("gamma");
+        assert_ne!(c, a);
+        assert_eq!(thawed.resolve(c), "gamma");
+    }
+
+    #[test]
+    fn frozen_interner_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenInterner>();
+    }
+
+    #[test]
+    fn empty_interner_get_is_none() {
+        let it = Interner::new();
+        assert_eq!(it.get("anything"), None);
+        assert!(it.freeze().is_empty());
     }
 }

@@ -18,10 +18,22 @@
 //!   pattern; [`rewriter::LinearRewriter`] is the O(rules) baseline kept
 //!   behind the same [`rewriter::Rewriter`] trait for benchmarking.
 //!
+//! The engine has two phases. The **build phase** is single-threaded and
+//! mutable: parse queries and rules into an [`interner::Interner`] and an
+//! [`align::AlignmentStore`]. The **serve phase** is shared and read-only:
+//! [`interner::Interner::freeze`] yields an `Arc`-shareable
+//! [`interner::FrozenInterner`], rewriting takes `&self` only, and
+//! template-introduced existentials are structural
+//! [`term::TermKind::Fresh`] terms (no interning on the hot path). With a
+//! caller-owned [`rewriter::RewriteScratch`], steady-state
+//! `rewrite_query_into` performs zero heap allocations.
+//!
 //! See the workspace README for the paper's rewriting model and
-//! `crates/bench-harness` for the measurement harness.
+//! `crates/bench-harness` for the measurement harness and the
+//! multi-threaded batch engine.
 
 pub mod align;
+pub mod counting_alloc;
 pub mod fxhash;
 pub mod interner;
 pub mod parser;
@@ -31,8 +43,8 @@ pub mod smallvec;
 pub mod term;
 
 pub use align::{AlignError, AlignmentStore, Rule};
-pub use interner::Interner;
+pub use interner::{FrozenInterner, Interner, Resolve};
 pub use parser::{parse_bgp, parse_query, ParseError};
 pub use pattern::{Bgp, Query, SelectList, TriplePattern};
-pub use rewriter::{IndexedRewriter, LinearRewriter, Rewriter};
+pub use rewriter::{IndexedRewriter, LinearRewriter, RewriteScratch, Rewriter};
 pub use term::{Symbol, Term, TermKind};

@@ -1,13 +1,27 @@
 //! Triple patterns, basic graph patterns, and queries — plus `Display`
 //! rendering back to valid SPARQL text.
 //!
-//! Terms are interner symbols, so rendering needs the [`Interner`] that
-//! minted them; `display(&interner)` pairs a value with its interner and the
-//! pair implements [`std::fmt::Display`].
+//! Parsed terms are interner symbols, so rendering needs a resolver
+//! implementing [`Resolve`] — either the build-phase
+//! [`Interner`](crate::interner::Interner) or the frozen serve-phase
+//! [`FrozenInterner`](crate::interner::FrozenInterner);
+//! `display(&resolver)` pairs a value with its resolver and the pair
+//! implements [`std::fmt::Display`].
+//!
+//! # Fresh-variable rendering
+//!
+//! [`TermKind::Fresh`] terms carry a counter, not a string; their `g{n}`
+//! names are materialized here, lazily. To keep the rendered text
+//! capture-free even though the *structural* guarantee (fresh ≠ any parsed
+//! var) does not survive textual round-trips, the display adapters scan the
+//! value being rendered for parsed variables already named `g{k}` and offset
+//! every fresh counter past the largest such `k`. Distinct counters map to
+//! distinct names and no name collides with a query variable, so rendered
+//! output re-parses to a query with identical solutions.
 
 use std::fmt;
 
-use crate::interner::Interner;
+use crate::interner::Resolve;
 use crate::term::{Term, TermKind};
 
 /// One SPARQL triple pattern. 12 bytes, `Copy`: equality and hashing are
@@ -30,8 +44,21 @@ impl TriplePattern {
         [self.s, self.p, self.o]
     }
 
-    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayTriple<'a> {
-        DisplayTriple { tp: self, interner }
+    /// Render this triple in isolation.
+    ///
+    /// Fresh-term naming is computed from *this triple's* terms only: the
+    /// same `Fresh` counter may render under different `g{n}` names in
+    /// different triples of one BGP, and may collide with `g`-named
+    /// variables that appear only in *other* triples. To render part of a
+    /// rewritten BGP with consistent, capture-free existential names, use
+    /// [`Bgp::display`] / [`Query::display`] on the whole value instead.
+    pub fn display<'a, R: Resolve>(&'a self, resolver: &'a R) -> DisplayTriple<'a, R> {
+        let fresh_base = fresh_render_base(self.terms().into_iter(), resolver);
+        DisplayTriple {
+            tp: self,
+            resolver,
+            fresh_base,
+        }
     }
 }
 
@@ -46,10 +73,21 @@ impl Bgp {
         Bgp { patterns }
     }
 
-    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayBgp<'a> {
+    /// Render this BGP in isolation.
+    ///
+    /// Fresh-term naming is computed from the BGP's terms only. A `g`-named
+    /// variable that exists solely in a surrounding context (e.g. a
+    /// projection variable absent from the BGP) is not seen here, so
+    /// splicing this rendering into other query text can capture an
+    /// existential. To render a rewritten query with its projection taken
+    /// into account, use [`Query::display`] instead.
+    pub fn display<'a, R: Resolve>(&'a self, resolver: &'a R) -> DisplayBgp<'a, R> {
+        let fresh_base =
+            fresh_render_base(self.patterns.iter().flat_map(|tp| tp.terms()), resolver);
         DisplayBgp {
             bgp: self,
-            interner,
+            resolver,
+            fresh_base,
         }
     }
 }
@@ -72,16 +110,94 @@ pub struct Query {
 }
 
 impl Query {
-    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayQuery<'a> {
+    pub fn display<'a, R: Resolve>(&'a self, resolver: &'a R) -> DisplayQuery<'a, R> {
+        let select_vars: &[Term] = match &self.select {
+            SelectList::Star => &[],
+            SelectList::Vars(vars) => vars,
+        };
+        let fresh_base = fresh_render_base(
+            self.bgp
+                .patterns
+                .iter()
+                .flat_map(|tp| tp.terms())
+                .chain(select_vars.iter().copied()),
+            resolver,
+        );
         DisplayQuery {
             query: self,
-            interner,
+            resolver,
+            fresh_base,
         }
     }
 }
 
-fn write_term(f: &mut fmt::Formatter<'_>, t: Term, interner: &Interner) -> fmt::Result {
-    let text = interner.resolve(t.symbol());
+/// Is `s` a canonical decimal numeral (no sign, no leading zero except "0"
+/// itself)? Rendered fresh names are always canonical, so only canonical
+/// parsed `g{k}` names can ever collide with them; non-canonical ones
+/// (`g007`, `gx`) are textually unreachable and ignored.
+fn is_canonical_decimal(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) && (s.len() == 1 || !s.starts_with('0'))
+}
+
+/// Arbitrary-precision `digits + n` over a canonical decimal numeral.
+/// Fresh-name arithmetic runs on decimal strings rather than a fixed-width
+/// integer so there is no width at which the offset scheme can overflow or
+/// saturate into a collision, no matter how large a `g{k}` variable name the
+/// query uses.
+fn decimal_add(digits: &str, n: u32) -> String {
+    let mut out: Vec<u8> = digits.bytes().rev().collect();
+    let mut carry = n as u64;
+    for b in out.iter_mut() {
+        if carry == 0 {
+            break;
+        }
+        let sum = (*b - b'0') as u64 + carry;
+        *b = b'0' + (sum % 10) as u8;
+        carry = sum / 10;
+    }
+    while carry > 0 {
+        out.push(b'0' + (carry % 10) as u8);
+        carry /= 10;
+    }
+    out.reverse();
+    String::from_utf8(out).expect("decimal digits are valid UTF-8")
+}
+
+/// Smallest counter offset (as a canonical decimal string) such that no
+/// rendered fresh name `g{base + n}` collides with a parsed variable of the
+/// rendered value: one past the largest `k` of any variable literally named
+/// `g{k}`. Canonical decimals compare numerically by (length, lexicographic).
+fn fresh_render_base<R: Resolve>(terms: impl Iterator<Item = Term>, resolver: &R) -> String {
+    let mut max: Option<&str> = None;
+    for t in terms {
+        if t.kind() != TermKind::Var {
+            continue;
+        }
+        let name = resolver.resolve(t.symbol());
+        if let Some(digits) = name.strip_prefix('g') {
+            if is_canonical_decimal(digits)
+                && max.is_none_or(|m| (digits.len(), digits) > (m.len(), m))
+            {
+                max = Some(digits);
+            }
+        }
+    }
+    match max {
+        None => "0".to_string(),
+        Some(m) => decimal_add(m, 1),
+    }
+}
+
+fn write_term<R: Resolve>(
+    f: &mut fmt::Formatter<'_>,
+    t: Term,
+    resolver: &R,
+    fresh_base: &str,
+) -> fmt::Result {
+    if t.kind() == TermKind::Fresh {
+        return write!(f, "?g{}", decimal_add(fresh_base, t.fresh_index()));
+    }
+    let text = resolver.resolve(t.symbol());
     match t.kind() {
         TermKind::Iri => write!(f, "<{text}>"),
         // Literals are interned with their full surface form (quotes,
@@ -89,46 +205,70 @@ fn write_term(f: &mut fmt::Formatter<'_>, t: Term, interner: &Interner) -> fmt::
         TermKind::Literal => f.write_str(text),
         TermKind::Blank => write!(f, "_:{text}"),
         TermKind::Var => write!(f, "?{text}"),
+        TermKind::Fresh => unreachable!("handled above"),
     }
 }
 
-pub struct DisplayTriple<'a> {
+pub struct DisplayTriple<'a, R: Resolve> {
     tp: &'a TriplePattern,
-    interner: &'a Interner,
+    resolver: &'a R,
+    fresh_base: String,
 }
 
-impl fmt::Display for DisplayTriple<'_> {
+impl<R: Resolve> fmt::Display for DisplayTriple<'_, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write_term(f, self.tp.s, self.interner)?;
-        f.write_str(" ")?;
-        write_term(f, self.tp.p, self.interner)?;
-        f.write_str(" ")?;
-        write_term(f, self.tp.o, self.interner)?;
-        f.write_str(" .")
+        write_triple(f, self.tp, self.resolver, &self.fresh_base)
     }
 }
 
-pub struct DisplayBgp<'a> {
+fn write_triple<R: Resolve>(
+    f: &mut fmt::Formatter<'_>,
+    tp: &TriplePattern,
+    resolver: &R,
+    fresh_base: &str,
+) -> fmt::Result {
+    write_term(f, tp.s, resolver, fresh_base)?;
+    f.write_str(" ")?;
+    write_term(f, tp.p, resolver, fresh_base)?;
+    f.write_str(" ")?;
+    write_term(f, tp.o, resolver, fresh_base)?;
+    f.write_str(" .")
+}
+
+pub struct DisplayBgp<'a, R: Resolve> {
     bgp: &'a Bgp,
-    interner: &'a Interner,
+    resolver: &'a R,
+    fresh_base: String,
 }
 
-impl fmt::Display for DisplayBgp<'_> {
+impl<R: Resolve> fmt::Display for DisplayBgp<'_, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("{\n")?;
-        for tp in &self.bgp.patterns {
-            writeln!(f, "  {}", tp.display(self.interner))?;
-        }
-        f.write_str("}")
+        write_bgp(f, self.bgp, self.resolver, &self.fresh_base)
     }
 }
 
-pub struct DisplayQuery<'a> {
-    query: &'a Query,
-    interner: &'a Interner,
+fn write_bgp<R: Resolve>(
+    f: &mut fmt::Formatter<'_>,
+    bgp: &Bgp,
+    resolver: &R,
+    fresh_base: &str,
+) -> fmt::Result {
+    f.write_str("{\n")?;
+    for tp in &bgp.patterns {
+        f.write_str("  ")?;
+        write_triple(f, tp, resolver, fresh_base)?;
+        f.write_str("\n")?;
+    }
+    f.write_str("}")
 }
 
-impl fmt::Display for DisplayQuery<'_> {
+pub struct DisplayQuery<'a, R: Resolve> {
+    query: &'a Query,
+    resolver: &'a R,
+    fresh_base: String,
+}
+
+impl<R: Resolve> fmt::Display for DisplayQuery<'_, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("SELECT")?;
         match &self.query.select {
@@ -136,17 +276,19 @@ impl fmt::Display for DisplayQuery<'_> {
             SelectList::Vars(vars) => {
                 for v in vars {
                     f.write_str(" ")?;
-                    write_term(f, *v, self.interner)?;
+                    write_term(f, *v, self.resolver, &self.fresh_base)?;
                 }
             }
         }
-        write!(f, " WHERE {}", self.query.bgp.display(self.interner))
+        f.write_str(" WHERE ")?;
+        write_bgp(f, &self.query.bgp, self.resolver, &self.fresh_base)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interner::Interner;
 
     #[test]
     fn triple_pattern_is_twelve_bytes_and_copy() {
@@ -175,6 +317,130 @@ mod tests {
         assert_eq!(
             tp2.display(&i).to_string(),
             "_:b0 <http://ex.org/p> \"hi\"@en ."
+        );
+    }
+
+    #[test]
+    fn renders_fresh_terms_with_lazy_names() {
+        let mut i = Interner::new();
+        let p = Term::iri(i.intern("http://ex.org/p"));
+        let tp = TriplePattern::new(Term::fresh(0), p, Term::fresh(1));
+        assert_eq!(tp.display(&i).to_string(), "?g0 <http://ex.org/p> ?g1 .");
+    }
+
+    #[test]
+    fn fresh_rendering_dodges_query_g_vars() {
+        let mut i = Interner::new();
+        let p = Term::iri(i.intern("http://ex.org/p"));
+        let g0 = Term::var(i.intern("g0"));
+        let g3 = Term::var(i.intern("g3"));
+        // Query uses parsed ?g0 and ?g3; fresh 0 and 1 must render past g3.
+        let bgp = Bgp::new(vec![
+            TriplePattern::new(g0, p, g3),
+            TriplePattern::new(Term::fresh(0), p, Term::fresh(1)),
+        ]);
+        let text = bgp.display(&i).to_string();
+        assert!(text.contains("?g0 <http://ex.org/p> ?g3"), "{text}");
+        assert!(text.contains("?g4 <http://ex.org/p> ?g5"), "{text}");
+    }
+
+    #[test]
+    fn fresh_rendering_ignores_non_canonical_g_names() {
+        // "gx" and "g1x" are not canonical g{digits} names.
+        let mut i = Interner::new();
+        let p = Term::iri(i.intern("http://ex.org/p"));
+        let gx = Term::var(i.intern("gx"));
+        let g1x = Term::var(i.intern("g1x"));
+        let bgp = Bgp::new(vec![
+            TriplePattern::new(gx, p, g1x),
+            TriplePattern::new(Term::fresh(0), p, Term::fresh(1)),
+        ]);
+        let text = bgp.display(&i).to_string();
+        assert!(text.contains("?g0 <http://ex.org/p> ?g1"), "{text}");
+    }
+
+    #[test]
+    fn fresh_rendering_survives_u32_max_g_var() {
+        // A parsed variable named g4294967295 (k = u32::MAX) must push the
+        // base past u32 entirely — no collision, no overflow.
+        let mut i = Interner::new();
+        let p = Term::iri(i.intern("http://ex.org/p"));
+        let gmax = Term::var(i.intern("g4294967295"));
+        let bgp = Bgp::new(vec![
+            TriplePattern::new(gmax, p, gmax),
+            TriplePattern::new(Term::fresh(0), p, Term::fresh(1)),
+        ]);
+        let text = bgp.display(&i).to_string();
+        assert!(
+            text.contains("?g4294967296 <http://ex.org/p> ?g4294967297"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fresh_rendering_survives_u64_max_g_var() {
+        // Decimal-string arithmetic: no integer width to overflow.
+        let mut i = Interner::new();
+        let p = Term::iri(i.intern("http://ex.org/p"));
+        let gmax = Term::var(i.intern("g18446744073709551615"));
+        let bgp = Bgp::new(vec![
+            TriplePattern::new(gmax, p, Term::fresh(0)),
+            TriplePattern::new(Term::fresh(0), p, Term::fresh(1)),
+        ]);
+        let text = bgp.display(&i).to_string();
+        assert!(text.contains("?g18446744073709551616"), "{text}");
+        assert!(text.contains("?g18446744073709551617"), "{text}");
+        assert!(!text.contains("?g18446744073709551615 <http://ex.org/p> ?g18446744073709551615"));
+    }
+
+    #[test]
+    fn fresh_rendering_survives_u128_max_g_var() {
+        // The former fixed-width worst case: a variable named g{u128::MAX}.
+        // String arithmetic carries into a 40th digit; no panic, no wrap,
+        // no collision.
+        let mut i = Interner::new();
+        let p = Term::iri(i.intern("http://ex.org/p"));
+        let gmax = Term::var(i.intern("g340282366920938463463374607431768211455"));
+        let bgp = Bgp::new(vec![
+            TriplePattern::new(gmax, p, Term::fresh(0)),
+            TriplePattern::new(Term::fresh(0), p, Term::fresh(1)),
+        ]);
+        let text = bgp.display(&i).to_string();
+        assert!(
+            text.contains("?g340282366920938463463374607431768211456"),
+            "{text}"
+        );
+        assert!(
+            text.contains("?g340282366920938463463374607431768211457"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn decimal_add_carries_correctly() {
+        assert_eq!(decimal_add("0", 0), "0");
+        assert_eq!(decimal_add("0", 7), "7");
+        assert_eq!(decimal_add("9", 1), "10");
+        assert_eq!(decimal_add("99", 1), "100");
+        assert_eq!(decimal_add("123", 877), "1000");
+        assert_eq!(
+            decimal_add("18446744073709551615", u32::MAX),
+            "18446744078004518910"
+        );
+    }
+
+    #[test]
+    fn renders_with_frozen_interner() {
+        let mut i = Interner::new();
+        let tp = TriplePattern::new(
+            Term::var(i.intern("s")),
+            Term::iri(i.intern("http://ex.org/p")),
+            Term::fresh(2),
+        );
+        let frozen = i.freeze();
+        assert_eq!(
+            tp.display(&frozen).to_string(),
+            "?s <http://ex.org/p> ?g2 ."
         );
     }
 }

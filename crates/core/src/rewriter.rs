@@ -15,54 +15,211 @@
 //! 2. The (possibly substituted) pattern is matched against predicate
 //!    templates; the first matching rule in id order replaces the pattern
 //!    with its instantiated right-hand side. Variables introduced by the
-//!    template (present in rhs, absent from lhs) are renamed to fresh
-//!    variables that cannot capture any variable of the query.
+//!    template (present in rhs, absent from lhs) become
+//!    [`TermKind::Fresh`](crate::term::TermKind::Fresh) terms numbered by a
+//!    per-rewrite counter — no string is interned and no name lookup
+//!    happens, because a fresh term is structurally unequal to every parsed
+//!    variable.
 //!
 //! Rewriting is not run to a fixpoint: rule sets are assumed to be composed
 //! offline (paper §4), so output vocabulary is never itself rewritten.
+//!
+//! # Concurrency and allocation
+//!
+//! Steady-state rewriting needs only `&self` over shared immutable state:
+//! the [`Rewriter`] methods take no interner, [`AlignmentStore`] and the
+//! rewriters are `Send + Sync`, and the `*_into` entry points write into a
+//! caller-owned [`RewriteScratch`] whose buffers are reused across calls —
+//! after warm-up, a `rewrite_query_into` call performs **zero heap
+//! allocations** (asserted by `tests/alloc_free.rs`).
+//!
+//! Sharing one rule set across worker threads is an `Arc` away:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::thread;
+//! use sparql_rewrite_core::*;
+//!
+//! let mut interner = Interner::new();
+//! let query = parse_query("SELECT * WHERE { ?s <http://src/p> ?o }", &mut interner).unwrap();
+//! let mut store = AlignmentStore::new();
+//! let lhs = parse_bgp("?a <http://src/p> ?b", &mut interner).unwrap().patterns[0];
+//! let rhs = parse_bgp("?a <http://tgt/p> ?m . ?m <http://tgt/q> ?b", &mut interner)
+//!     .unwrap()
+//!     .patterns;
+//! store.add_predicate(lhs, rhs).unwrap();
+//!
+//! // Build phase over: freeze the interner, share everything read-only.
+//! let rewriter: Arc<IndexedRewriter> = Arc::new(IndexedRewriter::new(Arc::new(store)));
+//! let frozen: Arc<FrozenInterner> = Arc::new(interner.freeze());
+//!
+//! let rendered: Vec<String> = thread::scope(|scope| {
+//!     (0..4)
+//!         .map(|_| {
+//!             let rewriter = Arc::clone(&rewriter);
+//!             let frozen = Arc::clone(&frozen);
+//!             let query = &query;
+//!             scope.spawn(move || {
+//!                 let mut scratch = RewriteScratch::new();
+//!                 rewriter.rewrite_query_into(query, &mut scratch);
+//!                 scratch.to_query().display(&*frozen).to_string()
+//!             })
+//!         })
+//!         .collect::<Vec<_>>()
+//!         .into_iter()
+//!         .map(|h| h.join().unwrap())
+//!         .collect()
+//! });
+//! assert!(rendered.iter().all(|r| r == &rendered[0]));
+//! assert!(rendered[0].contains("<http://tgt/q>"));
+//! ```
+
+use std::borrow::Borrow;
+use std::sync::Arc;
 
 use crate::align::{AlignmentStore, Rule};
-use crate::fxhash::FxHashSet;
-use crate::interner::Interner;
 use crate::pattern::{Bgp, Query, SelectList, TriplePattern};
 use crate::term::{Symbol, Term, TermKind};
 
+/// Caller-owned scratch space for allocation-free rewriting.
+///
+/// Holds the output buffers and the per-rewrite rename state. Every
+/// `rewrite_*_into` call clears and refills it; buffer capacity is retained,
+/// so repeated calls with a warmed scratch never touch the allocator.
+#[derive(Default, Debug)]
+pub struct RewriteScratch {
+    /// Rewritten triple patterns of the last call.
+    out: Vec<TriplePattern>,
+    /// Projection of the last `rewrite_query_into` call (empty for `*`).
+    select: Vec<Term>,
+    select_star: bool,
+    /// Existential renames of the template application in progress. Keyed by
+    /// whole `Term` (not `Symbol`) because a blank `_:b` and a variable `?b`
+    /// share an interned string but must rename independently.
+    renames: Vec<(Term, Term)>,
+    /// Next fresh-variable counter for this rewrite call.
+    fresh_next: u32,
+    /// Counter value after the pre-pass over the input (i.e. one past the
+    /// largest fresh counter the input already carried); newly minted
+    /// existentials are `fresh_start..fresh_next`.
+    fresh_start: u32,
+}
+
+impl RewriteScratch {
+    pub fn new() -> RewriteScratch {
+        RewriteScratch::default()
+    }
+
+    /// Rewritten patterns of the last `rewrite_*_into` call.
+    #[inline]
+    pub fn patterns(&self) -> &[TriplePattern] {
+        &self.out
+    }
+
+    /// Projection of the last `rewrite_query_into` call: `None` for
+    /// `SELECT *`, otherwise the projected variables.
+    #[inline]
+    pub fn select(&self) -> Option<&[Term]> {
+        if self.select_star {
+            None
+        } else {
+            Some(&self.select)
+        }
+    }
+
+    /// Number of fresh variables the last call introduced — fresh terms the
+    /// input already carried (when re-rewriting a prior output) are not
+    /// counted.
+    #[inline]
+    pub fn fresh_count(&self) -> u32 {
+        self.fresh_next - self.fresh_start
+    }
+
+    /// Copy the last result out as an owned [`Bgp`] (allocates).
+    pub fn to_bgp(&self) -> Bgp {
+        Bgp::new(self.out.clone())
+    }
+
+    /// Copy the last result out as an owned [`Query`] (allocates). Only
+    /// meaningful after `rewrite_query_into`.
+    pub fn to_query(&self) -> Query {
+        Query {
+            select: if self.select_star {
+                SelectList::Star
+            } else {
+                SelectList::Vars(self.select.clone())
+            },
+            bgp: self.to_bgp(),
+        }
+    }
+}
+
 /// A BGP rewriting strategy. Object-safe so benchmarks can treat strategies
-/// uniformly.
+/// uniformly. All methods take `&self` and no interner: fresh variables are
+/// structural ([`TermKind::Fresh`](crate::term::TermKind::Fresh)), so the
+/// hot path never mints strings.
 pub trait Rewriter {
     /// Human-readable strategy name for benchmark output.
     fn name(&self) -> &'static str;
 
-    /// Rewrite a bare BGP. `interner` must be the one the BGP's terms were
-    /// minted into; it is mutable because template expansion may intern
-    /// fresh variable names.
-    fn rewrite_bgp(&self, bgp: &Bgp, interner: &mut Interner) -> Bgp;
+    /// Rewrite a bare BGP into `scratch` (allocation-free once warm).
+    fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch);
 
-    /// Rewrite a full query: the projection is preserved, the BGP is
-    /// rewritten. Projection variables are reserved so fresh variables can
-    /// never collide with them even if they do not occur in the BGP.
-    fn rewrite_query(&self, query: &Query, interner: &mut Interner) -> Query;
+    /// Rewrite a full query into `scratch`: the projection is copied into
+    /// the scratch, the BGP is rewritten (allocation-free once warm).
+    fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch);
+
+    /// Convenience wrapper allocating a fresh output BGP.
+    fn rewrite_bgp(&self, bgp: &Bgp) -> Bgp {
+        let mut scratch = RewriteScratch::new();
+        self.rewrite_bgp_into(bgp, &mut scratch);
+        Bgp {
+            patterns: scratch.out,
+        }
+    }
+
+    /// Convenience wrapper allocating a fresh output query.
+    fn rewrite_query(&self, query: &Query) -> Query {
+        let mut scratch = RewriteScratch::new();
+        self.rewrite_query_into(query, &mut scratch);
+        scratch.to_query()
+    }
 }
 
 /// Production rewriter: hash-indexed candidate lookup.
-pub struct IndexedRewriter<'s> {
-    store: &'s AlignmentStore,
+///
+/// Generic over how it holds the store so both phases are cheap to express:
+/// borrow for single-threaded use (`IndexedRewriter::new(&store)`), or an
+/// [`Arc`] for the shared serve phase (`IndexedRewriter::new(Arc::new(store))`
+/// — the default type parameter). `Send + Sync` whenever the holder is.
+pub struct IndexedRewriter<S = Arc<AlignmentStore>> {
+    store: S,
 }
 
-impl<'s> IndexedRewriter<'s> {
-    pub fn new(store: &'s AlignmentStore) -> Self {
+impl<S: Borrow<AlignmentStore>> IndexedRewriter<S> {
+    pub fn new(store: S) -> Self {
         IndexedRewriter { store }
+    }
+
+    #[inline]
+    fn store(&self) -> &AlignmentStore {
+        self.store.borrow()
     }
 }
 
 /// Baseline rewriter: full rule-list scan per lookup.
-pub struct LinearRewriter<'s> {
-    store: &'s AlignmentStore,
+pub struct LinearRewriter<S = Arc<AlignmentStore>> {
+    store: S,
 }
 
-impl<'s> LinearRewriter<'s> {
-    pub fn new(store: &'s AlignmentStore) -> Self {
+impl<S: Borrow<AlignmentStore>> LinearRewriter<S> {
+    pub fn new(store: S) -> Self {
         LinearRewriter { store }
+    }
+
+    #[inline]
+    fn store(&self) -> &AlignmentStore {
+        self.store.borrow()
     }
 }
 
@@ -75,16 +232,17 @@ trait RuleLookup {
     fn matching_template(&self, tp: TriplePattern) -> Option<(TriplePattern, &[TriplePattern])>;
 }
 
-impl RuleLookup for IndexedRewriter<'_> {
+impl<S: Borrow<AlignmentStore>> RuleLookup for IndexedRewriter<S> {
     #[inline]
     fn entity_target(&self, t: Term) -> Option<Term> {
-        self.store.entity_target(t)
+        self.store().entity_target(t)
     }
 
     #[inline]
     fn matching_template(&self, tp: TriplePattern) -> Option<(TriplePattern, &[TriplePattern])> {
-        let rules = self.store.rules();
-        for &id in self.store.predicate_candidates(tp.p) {
+        let store = self.store();
+        let rules = store.rules();
+        for &id in store.predicate_candidates(tp.p) {
             if let Rule::Predicate { lhs, rhs } = &rules[id as usize] {
                 if lhs_matches(*lhs, tp) {
                     return Some((*lhs, rhs));
@@ -95,9 +253,9 @@ impl RuleLookup for IndexedRewriter<'_> {
     }
 }
 
-impl RuleLookup for LinearRewriter<'_> {
+impl<S: Borrow<AlignmentStore>> RuleLookup for LinearRewriter<S> {
     fn entity_target(&self, t: Term) -> Option<Term> {
-        for rule in self.store.rules() {
+        for rule in self.store().rules() {
             if let Rule::Entity { from, to } = rule {
                 if *from == t {
                     return Some(*to);
@@ -108,7 +266,7 @@ impl RuleLookup for LinearRewriter<'_> {
     }
 
     fn matching_template(&self, tp: TriplePattern) -> Option<(TriplePattern, &[TriplePattern])> {
-        for rule in self.store.rules() {
+        for rule in self.store().rules() {
             if let Rule::Predicate { lhs, rhs } = rule {
                 if lhs_matches(*lhs, tp) {
                     return Some((*lhs, rhs));
@@ -121,75 +279,38 @@ impl RuleLookup for LinearRewriter<'_> {
 
 /// Does template lhs match the query pattern? Template variables match
 /// anything (consistently — a repeated lhs variable must bind one term);
-/// concrete template terms require equality.
+/// concrete template terms require equality. One pass over the three
+/// positions: each is either compared for equality (concrete) or, if it is a
+/// variable, checked for consistency against the *later* positions that
+/// repeat it — so no position is examined twice.
 #[inline]
 fn lhs_matches(lhs: TriplePattern, tp: TriplePattern) -> bool {
-    if lhs.p != tp.p && !lhs.p.is_var() {
-        return false;
-    }
-    for (l, q) in [(lhs.s, tp.s), (lhs.o, tp.o)] {
-        if !l.is_var() && l != q {
-            return false;
-        }
-    }
-    // Repeated-variable consistency across the three positions.
-    let pairs = [(lhs.s, tp.s), (lhs.p, tp.p), (lhs.o, tp.o)];
+    let l = lhs.terms();
+    let q = tp.terms();
     for i in 0..3 {
-        for j in (i + 1)..3 {
-            let (li, qi) = pairs[i];
-            let (lj, qj) = pairs[j];
-            if li.is_var() && li == lj && qi != qj {
-                return false;
+        if l[i].is_var() {
+            for j in (i + 1)..3 {
+                if l[j] == l[i] && q[j] != q[i] {
+                    return false;
+                }
             }
+        } else if l[i] != q[i] {
+            return false;
         }
     }
     true
 }
 
-/// Fresh-variable generator for template-introduced variables. Names are
-/// `g0, g1, …`, skipping any symbol already used as a variable name in the
-/// query (or by an earlier fresh variable), so capture is impossible.
-struct FreshVars {
-    counter: u32,
-    used: FxHashSet<Symbol>,
-}
-
-impl FreshVars {
-    fn reserve_bgp(&mut self, bgp: &Bgp) {
-        for tp in &bgp.patterns {
-            for t in tp.terms() {
-                if t.is_var() {
-                    self.used.insert(t.symbol());
-                }
-            }
-        }
-    }
-
-    fn next(&mut self, interner: &mut Interner) -> Term {
-        use std::fmt::Write;
-        let mut name = String::with_capacity(8);
-        loop {
-            name.clear();
-            write!(name, "g{}", self.counter).unwrap();
-            self.counter += 1;
-            let sym = interner.intern(&name);
-            if self.used.insert(sym) {
-                return Term::var(sym);
-            }
-        }
-    }
-}
-
 /// Instantiate a matched template: rhs with lhs-bound variables replaced by
-/// the query pattern's terms and unbound rhs variables replaced by fresh
-/// variables (consistently within this application).
+/// the query pattern's terms and unbound rhs variables (and rhs blank
+/// nodes) replaced by fresh terms, consistently within this application.
 fn instantiate_template(
     lhs: TriplePattern,
     rhs: &[TriplePattern],
     tp: TriplePattern,
-    fresh: &mut FreshVars,
-    interner: &mut Interner,
     out: &mut Vec<TriplePattern>,
+    renames: &mut Vec<(Term, Term)>,
+    fresh_next: &mut u32,
 ) {
     // Bindings from lhs variables to the query pattern's terms. At most
     // three entries, so a flat array beats a hash map.
@@ -201,12 +322,10 @@ fn instantiate_template(
             n_bindings += 1;
         }
     }
-    // Fresh renames for rhs-introduced existentials, consistent across the
-    // rhs of this one application. Keyed by whole Term (not Symbol) because
-    // a blank `_:b` and a variable `?b` share an interned string but must
-    // rename independently.
-    let mut renames: Vec<(Term, Term)> = Vec::new();
-    let mut subst = |t: Term, fresh: &mut FreshVars, interner: &mut Interner| -> Term {
+    // Renames are per-application: consistent across this rhs, reset for the
+    // next expansion (the buffer's capacity is what the scratch retains).
+    renames.clear();
+    let subst = |t: Term, renames: &mut Vec<(Term, Term)>, fresh_next: &mut u32| -> Term {
         match t.kind() {
             TermKind::Var => {
                 let sym = t.symbol();
@@ -225,44 +344,42 @@ fn instantiate_template(
             TermKind::Blank => {}
             _ => return t,
         }
-        for &(s, replacement) in &renames {
+        for &(s, replacement) in renames.iter() {
             if s == t {
                 return replacement;
             }
         }
-        let f = fresh.next(interner);
+        let f = Term::fresh(*fresh_next);
+        *fresh_next += 1;
         renames.push((t, f));
         f
     };
     for template in rhs {
         out.push(TriplePattern::new(
-            subst(template.s, fresh, interner),
-            subst(template.p, fresh, interner),
-            subst(template.o, fresh, interner),
+            subst(template.s, renames, fresh_next),
+            subst(template.p, renames, fresh_next),
+            subst(template.o, renames, fresh_next),
         ));
     }
 }
 
 /// The shared rewrite engine: entity substitution then template expansion,
-/// per pattern, in order. `reserved` seeds the fresh-variable exclusion set
-/// (e.g. projection variables not occurring in the BGP).
-fn rewrite_bgp_with<L: RuleLookup>(
-    lookup: &L,
-    bgp: &Bgp,
-    reserved: &[Term],
-    interner: &mut Interner,
-) -> Bgp {
-    let mut fresh = FreshVars {
-        counter: 0,
-        used: FxHashSet::default(),
-    };
-    fresh.reserve_bgp(bgp);
-    for t in reserved {
-        if t.is_var() {
-            fresh.used.insert(t.symbol());
+/// per pattern, in order. Fresh variables are structural, so no name
+/// reservation is needed — the only pre-pass skips past any fresh counters
+/// already present in the input (e.g. when re-rewriting a prior output), so
+/// newly minted existentials can never collide with them.
+fn rewrite_bgp_with<L: RuleLookup>(lookup: &L, bgp: &Bgp, scratch: &mut RewriteScratch) {
+    scratch.out.clear();
+    scratch.out.reserve(bgp.patterns.len());
+    scratch.fresh_next = 0;
+    for tp in &bgp.patterns {
+        for t in tp.terms() {
+            if t.is_fresh() {
+                scratch.fresh_next = scratch.fresh_next.max(t.fresh_index() + 1);
+            }
         }
     }
-    let mut out = Vec::with_capacity(bgp.patterns.len());
+    scratch.fresh_start = scratch.fresh_next;
     for &tp in &bgp.patterns {
         let substituted = TriplePattern::new(
             lookup.entity_target(tp.s).unwrap_or(tp.s),
@@ -270,50 +387,70 @@ fn rewrite_bgp_with<L: RuleLookup>(
             lookup.entity_target(tp.o).unwrap_or(tp.o),
         );
         match lookup.matching_template(substituted) {
-            Some((lhs, rhs)) => {
-                instantiate_template(lhs, rhs, substituted, &mut fresh, interner, &mut out)
-            }
-            None => out.push(substituted),
+            Some((lhs, rhs)) => instantiate_template(
+                lhs,
+                rhs,
+                substituted,
+                &mut scratch.out,
+                &mut scratch.renames,
+                &mut scratch.fresh_next,
+            ),
+            None => scratch.out.push(substituted),
         }
     }
-    Bgp::new(out)
 }
 
-fn rewrite_query_with<L: RuleLookup>(lookup: &L, query: &Query, interner: &mut Interner) -> Query {
-    let reserved: &[Term] = match &query.select {
-        SelectList::Star => &[],
-        SelectList::Vars(vars) => vars,
-    };
-    Query {
-        select: query.select.clone(),
-        bgp: rewrite_bgp_with(lookup, &query.bgp, reserved, interner),
+fn rewrite_query_with<L: RuleLookup>(lookup: &L, query: &Query, scratch: &mut RewriteScratch) {
+    scratch.select.clear();
+    match &query.select {
+        SelectList::Star => scratch.select_star = true,
+        SelectList::Vars(vars) => {
+            scratch.select_star = false;
+            scratch.select.extend_from_slice(vars);
+        }
     }
+    rewrite_bgp_with(lookup, &query.bgp, scratch);
 }
 
-impl Rewriter for IndexedRewriter<'_> {
+impl<S: Borrow<AlignmentStore>> Rewriter for IndexedRewriter<S> {
     fn name(&self) -> &'static str {
         "indexed"
     }
 
-    fn rewrite_bgp(&self, bgp: &Bgp, interner: &mut Interner) -> Bgp {
-        rewrite_bgp_with(self, bgp, &[], interner)
+    fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch) {
+        rewrite_bgp_with(self, bgp, scratch);
     }
 
-    fn rewrite_query(&self, query: &Query, interner: &mut Interner) -> Query {
-        rewrite_query_with(self, query, interner)
+    fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch) {
+        rewrite_query_with(self, query, scratch);
     }
 }
 
-impl Rewriter for LinearRewriter<'_> {
+impl<S: Borrow<AlignmentStore>> Rewriter for LinearRewriter<S> {
     fn name(&self) -> &'static str {
         "linear"
     }
 
-    fn rewrite_bgp(&self, bgp: &Bgp, interner: &mut Interner) -> Bgp {
-        rewrite_bgp_with(self, bgp, &[], interner)
+    fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch) {
+        rewrite_bgp_with(self, bgp, scratch);
     }
 
-    fn rewrite_query(&self, query: &Query, interner: &mut Interner) -> Query {
-        rewrite_query_with(self, query, interner)
+    fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch) {
+        rewrite_query_with(self, query, scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewriters_over_arc_are_send_sync_static() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<IndexedRewriter<Arc<AlignmentStore>>>();
+        assert_send_sync::<LinearRewriter<Arc<AlignmentStore>>>();
+        assert_send_sync::<AlignmentStore>();
+        // The default type parameter is the Arc form.
+        assert_send_sync::<IndexedRewriter>();
     }
 }

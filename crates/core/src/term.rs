@@ -1,20 +1,21 @@
 //! Interned RDF terms.
 //!
-//! A [`Term`] packs a 2-bit kind tag and a 30-bit interner symbol into a
-//! single `u32`, so a [`crate::pattern::TriplePattern`] is a 12-byte `Copy`
-//! struct and term equality/hashing are integer ops. The textual form lives
-//! in the [`crate::interner::Interner`]; terms are meaningless without the
-//! interner that minted them.
+//! A [`Term`] packs a 3-bit kind tag and a 29-bit payload into a single
+//! `u32`, so a [`crate::pattern::TriplePattern`] is a 12-byte `Copy` struct
+//! and term equality/hashing are integer ops. For parsed kinds the payload
+//! is an interner symbol and the textual form lives in the
+//! [`crate::interner::Interner`]; for [`TermKind::Fresh`] the payload is a
+//! per-rewrite counter and no string exists until render time.
 
 use std::fmt;
 
-/// Index into an [`crate::interner::Interner`]. At most 2^30 distinct
-/// strings can be interned (the top two bits of a [`Term`] hold the kind).
+/// Index into an [`crate::interner::Interner`]. At most 2^29 distinct
+/// strings can be interned (the top three bits of a [`Term`] hold the kind).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Symbol(pub(crate) u32);
 
 impl Symbol {
-    pub const MAX: u32 = (1 << 30) - 1;
+    pub const MAX: u32 = (1 << 29) - 1;
 
     #[inline]
     pub fn index(self) -> usize {
@@ -35,13 +36,20 @@ pub enum TermKind {
     Blank = 2,
     /// A variable; the symbol resolves to the name without `?`/`$`.
     Var = 3,
+    /// A rewriter-introduced existential variable. The payload is a counter
+    /// minted per rewrite call, **not** an interner symbol: no string is ever
+    /// interned for a fresh variable, and a `Fresh` term can never compare
+    /// equal to a parsed [`TermKind::Var`], so capture avoidance is
+    /// structural rather than name-based. Rendering materializes a `g{n}`
+    /// name lazily (see `crate::pattern`).
+    Fresh = 4,
 }
 
 /// A tagged, interned RDF term: 4 bytes, `Copy`, integer compare/hash.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Term(u32);
 
-const TAG_SHIFT: u32 = 30;
+const TAG_SHIFT: u32 = 29;
 const SYM_MASK: u32 = (1 << TAG_SHIFT) - 1;
 
 impl Term {
@@ -71,24 +79,52 @@ impl Term {
         Term::new(TermKind::Var, sym)
     }
 
+    /// Fresh existential variable `n` of one rewrite call. The counter
+    /// occupies the symbol bits but is not an interner index. Hard assert
+    /// (mirroring the interner's symbol-space check): wrapping in release
+    /// builds would make two distinct existentials compare equal and
+    /// silently join unrelated solutions.
+    #[inline]
+    pub fn fresh(n: u32) -> Term {
+        assert!(n <= Symbol::MAX, "fresh counter exceeded 2^29");
+        Term(((TermKind::Fresh as u32) << TAG_SHIFT) | n)
+    }
+
     #[inline]
     pub fn kind(self) -> TermKind {
         match self.0 >> TAG_SHIFT {
             0 => TermKind::Iri,
             1 => TermKind::Literal,
             2 => TermKind::Blank,
-            _ => TermKind::Var,
+            3 => TermKind::Var,
+            _ => TermKind::Fresh,
         }
     }
 
+    /// Interner symbol for parsed kinds. Meaningless for [`TermKind::Fresh`]
+    /// terms — use [`Term::fresh_index`] for those.
     #[inline]
     pub fn symbol(self) -> Symbol {
         Symbol(self.0 & SYM_MASK)
     }
 
+    /// The per-rewrite counter of a [`TermKind::Fresh`] term.
+    #[inline]
+    pub fn fresh_index(self) -> u32 {
+        debug_assert!(self.is_fresh());
+        self.0 & SYM_MASK
+    }
+
+    /// True for parsed (`?x`) variables only; fresh existentials are a
+    /// distinct kind, see [`Term::is_fresh`].
     #[inline]
     pub fn is_var(self) -> bool {
         self.kind() == TermKind::Var
+    }
+
+    #[inline]
+    pub fn is_fresh(self) -> bool {
+        self.kind() == TermKind::Fresh
     }
 
     #[inline]
@@ -106,7 +142,11 @@ impl Term {
 
 impl fmt::Debug for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Term({:?}, #{})", self.kind(), self.symbol().0)
+        if self.is_fresh() {
+            write!(f, "Term(Fresh, g{})", self.fresh_index())
+        } else {
+            write!(f, "Term({:?}, #{})", self.kind(), self.symbol().0)
+        }
     }
 }
 
@@ -134,5 +174,21 @@ mod tests {
         let t = Term::new(TermKind::Var, Symbol(Symbol::MAX));
         assert_eq!(t.kind(), TermKind::Var);
         assert_eq!(t.symbol(), Symbol(Symbol::MAX));
+    }
+
+    #[test]
+    fn fresh_round_trip_and_never_equals_var() {
+        let f = Term::fresh(7);
+        assert_eq!(f.kind(), TermKind::Fresh);
+        assert!(f.is_fresh() && !f.is_var());
+        assert_eq!(f.fresh_index(), 7);
+        // Even with identical payload bits, a fresh term differs from every
+        // parsed kind — the structural capture-avoidance guarantee.
+        assert_ne!(f, Term::var(Symbol(7)));
+        assert_ne!(f, Term::iri(Symbol(7)));
+        assert_ne!(f, Term::blank(Symbol(7)));
+        let max = Term::fresh(Symbol::MAX);
+        assert_eq!(max.fresh_index(), Symbol::MAX);
+        assert_eq!(max.kind(), TermKind::Fresh);
     }
 }

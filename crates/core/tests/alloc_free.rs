@@ -1,0 +1,142 @@
+//! Steady-state rewriting performs zero heap allocations.
+//!
+//! This binary installs a counting global allocator, warms a
+//! [`RewriteScratch`] over a workload once, then asserts that repeated
+//! `rewrite_query_into` calls never touch the allocator again. The workload
+//! deliberately exercises every allocation-prone path: entity substitution,
+//! one-to-many template expansion, fresh-variable minting, and rule misses.
+
+use std::sync::{Mutex, MutexGuard};
+
+use sparql_rewrite_core::counting_alloc::{allocation_count, CountingAllocator};
+use sparql_rewrite_core::{
+    parse_bgp, parse_query, AlignmentStore, IndexedRewriter, Interner, LinearRewriter, Query,
+    RewriteScratch, Rewriter,
+};
+
+/// The allocation counter is process-global and the test harness runs tests
+/// on parallel threads, so each test holds this lock for its whole body —
+/// otherwise one test's fixture building would land inside another's
+/// counting window.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn build_fixture() -> (AlignmentStore, Vec<Query>) {
+    let mut it = Interner::new();
+    let mut store = AlignmentStore::new();
+    // Entity alignment, 1:1 template, and 1:2 template with an existential.
+    store
+        .add_entity(
+            parse_bgp("?x <http://src/E> ?y", &mut it).unwrap().patterns[0].p,
+            parse_bgp("?x <http://tgt/E> ?y", &mut it).unwrap().patterns[0].p,
+        )
+        .unwrap();
+    let lhs1 = parse_bgp("?a <http://src/one> ?b", &mut it)
+        .unwrap()
+        .patterns[0];
+    let rhs1 = parse_bgp("?b <http://tgt/one> ?a", &mut it)
+        .unwrap()
+        .patterns;
+    store.add_predicate(lhs1, rhs1).unwrap();
+    let lhs2 = parse_bgp("?a <http://src/split> ?b", &mut it)
+        .unwrap()
+        .patterns[0];
+    let rhs2 = parse_bgp(
+        "?a <http://tgt/h> ?m . ?m <http://tgt/t> ?b . ?m <http://tgt/k> _:bn",
+        &mut it,
+    )
+    .unwrap()
+    .patterns;
+    store.add_predicate(lhs2, rhs2).unwrap();
+
+    let queries = vec![
+        parse_query(
+            "SELECT ?a ?b WHERE { ?a <http://src/one> ?b . ?a <http://src/E> ?b }",
+            &mut it,
+        )
+        .unwrap(),
+        parse_query(
+            "SELECT * WHERE { ?p <http://src/split> ?q . ?q <http://src/split> ?r . ?r <http://miss/p> ?s }",
+            &mut it,
+        )
+        .unwrap(),
+        parse_query("SELECT ?x WHERE { ?x <http://nohit/p> <http://nohit/o> }", &mut it).unwrap(),
+    ];
+    (store, queries)
+}
+
+#[test]
+fn steady_state_rewrite_query_into_is_allocation_free() {
+    let _guard = serialized();
+    let (store, queries) = build_fixture();
+    let rewriter = IndexedRewriter::new(&store);
+    let mut scratch = RewriteScratch::new();
+
+    // Warm-up: first pass may grow the scratch buffers.
+    for q in &queries {
+        rewriter.rewrite_query_into(q, &mut scratch);
+    }
+    let expected: Vec<(usize, u32)> = queries
+        .iter()
+        .map(|q| {
+            rewriter.rewrite_query_into(q, &mut scratch);
+            (scratch.patterns().len(), scratch.fresh_count())
+        })
+        .collect();
+
+    let before = allocation_count();
+    for _ in 0..1_000 {
+        for (q, exp) in queries.iter().zip(&expected) {
+            rewriter.rewrite_query_into(q, &mut scratch);
+            assert_eq!((scratch.patterns().len(), scratch.fresh_count()), *exp);
+        }
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state rewrite_query_into must not allocate"
+    );
+}
+
+#[test]
+fn linear_strategy_is_also_allocation_free() {
+    let _guard = serialized();
+    let (store, queries) = build_fixture();
+    let rewriter = LinearRewriter::new(&store);
+    let mut scratch = RewriteScratch::new();
+    for q in &queries {
+        rewriter.rewrite_query_into(q, &mut scratch);
+    }
+    let before = allocation_count();
+    for _ in 0..100 {
+        for q in &queries {
+            rewriter.rewrite_query_into(q, &mut scratch);
+        }
+    }
+    assert_eq!(allocation_count() - before, 0);
+}
+
+#[test]
+fn rewrite_bgp_into_is_allocation_free_after_warmup() {
+    let _guard = serialized();
+    let (store, queries) = build_fixture();
+    let rewriter = IndexedRewriter::new(&store);
+    let mut scratch = RewriteScratch::new();
+    for q in &queries {
+        rewriter.rewrite_bgp_into(&q.bgp, &mut scratch);
+    }
+    let before = allocation_count();
+    for _ in 0..100 {
+        for q in &queries {
+            rewriter.rewrite_bgp_into(&q.bgp, &mut scratch);
+        }
+    }
+    assert_eq!(allocation_count() - before, 0);
+}

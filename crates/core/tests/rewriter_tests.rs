@@ -31,7 +31,7 @@ fn entity_substitution_all_positions() {
         TriplePattern::new(src, src_p, src),
         TriplePattern::new(var(&mut it, "x"), src_p, var(&mut it, "y")),
     ]);
-    let rewritten = IndexedRewriter::new(&store).rewrite_bgp(&bgp, &mut it);
+    let rewritten = IndexedRewriter::new(&store).rewrite_bgp(&bgp);
     assert_eq!(
         rewritten.patterns,
         vec![
@@ -63,7 +63,7 @@ fn entity_substitution_via_parsed_query() {
             iri(&mut it, "http://tgt/label"),
         )
         .unwrap();
-    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
     let rendered = out.display(&it).to_string();
     assert!(rendered.contains("<http://tgt/label>"), "{rendered}");
     assert!(rendered.contains("<http://tgt/Agent>"), "{rendered}");
@@ -97,7 +97,7 @@ fn predicate_template_one_to_many_expansion() {
         &mut it,
     )
     .unwrap();
-    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
     assert_eq!(out.bgp.patterns.len(), 2);
     let [a, b] = [out.bgp.patterns[0], out.bgp.patterns[1]];
     // ?x bound to ?who in both output patterns.
@@ -106,8 +106,8 @@ fn predicate_template_one_to_many_expansion() {
     assert_eq!(a.p, iri(&mut it, "http://tgt/firstName"));
     assert_eq!(b.p, iri(&mut it, "http://tgt/lastName"));
     // The literal "Ada" bound nothing (lhs object ?n is unused in rhs);
-    // objects are fresh vars, distinct from each other.
-    assert!(a.o.is_var() && b.o.is_var());
+    // objects are structural fresh existentials, distinct from each other.
+    assert!(a.o.is_fresh() && b.o.is_fresh());
     assert_ne!(a.o, b.o);
 }
 
@@ -127,9 +127,9 @@ fn template_with_concrete_lhs_object_matches_selectively() {
     let hit = parse_bgp("?a <http://src/type> <http://src/Special>", &mut it).unwrap();
     let miss = parse_bgp("?a <http://src/type> <http://src/Other>", &mut it).unwrap();
     let rw = IndexedRewriter::new(&store);
-    let hit_out = rw.rewrite_bgp(&hit, &mut it);
+    let hit_out = rw.rewrite_bgp(&hit);
     assert_eq!(hit_out.patterns[0].p, iri(&mut it, "http://tgt/kind"));
-    let miss_out = rw.rewrite_bgp(&miss, &mut it);
+    let miss_out = rw.rewrite_bgp(&miss);
     assert_eq!(miss_out, miss, "non-matching object must not rewrite");
 }
 
@@ -148,11 +148,11 @@ fn repeated_lhs_variable_requires_equal_terms() {
     let rw = IndexedRewriter::new(&store);
 
     let reflexive = parse_bgp("?a <http://src/sameAs> ?a", &mut it).unwrap();
-    let out = rw.rewrite_bgp(&reflexive, &mut it);
+    let out = rw.rewrite_bgp(&reflexive);
     assert_eq!(out.patterns[0].p, iri(&mut it, "http://tgt/reflexive"));
 
     let non_reflexive = parse_bgp("?a <http://src/sameAs> ?b", &mut it).unwrap();
-    let out = rw.rewrite_bgp(&non_reflexive, &mut it);
+    let out = rw.rewrite_bgp(&non_reflexive);
     assert_eq!(out, non_reflexive);
 }
 
@@ -173,10 +173,10 @@ fn fresh_variables_avoid_capture() {
         &mut it,
     )
     .unwrap();
-    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
     assert_eq!(out.bgp.patterns.len(), 3);
     let intro = out.bgp.patterns[0].o; // the renamed ?m from the template
-    assert!(intro.is_var());
+    assert!(intro.is_fresh(), "template existentials are Fresh terms");
     // The introduced variable is none of the query's variables.
     for taken in ["m", "g0", "g1"] {
         assert_ne!(intro, var(&mut it, taken), "captured ?{taken}");
@@ -204,7 +204,7 @@ fn fresh_variables_distinct_across_multiple_expansions() {
         &mut it,
     )
     .unwrap();
-    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
     assert_eq!(out.bgp.patterns.len(), 4);
     let m1 = out.bgp.patterns[0].o;
     let m2 = out.bgp.patterns[2].o;
@@ -229,7 +229,7 @@ fn entity_substitution_feeds_template_matching() {
     store.add_predicate(lhs, rhs).unwrap();
 
     let query = parse_bgp("?x <http://legacy/knows> ?y", &mut it).unwrap();
-    let out = IndexedRewriter::new(&store).rewrite_bgp(&query, &mut it);
+    let out = IndexedRewriter::new(&store).rewrite_bgp(&query);
     assert_eq!(
         out.patterns,
         vec![TriplePattern::new(
@@ -255,8 +255,8 @@ fn first_matching_rule_wins_in_id_order() {
     store.add_predicate(lhs, rhs2).unwrap();
     let query = parse_bgp("?x <http://src/p> ?y", &mut it).unwrap();
     for out in [
-        IndexedRewriter::new(&store).rewrite_bgp(&query, &mut it),
-        LinearRewriter::new(&store).rewrite_bgp(&query, &mut it),
+        IndexedRewriter::new(&store).rewrite_bgp(&query),
+        LinearRewriter::new(&store).rewrite_bgp(&query),
     ] {
         assert_eq!(out.patterns[0].p, iri(&mut it, "http://tgt/first"));
     }
@@ -360,8 +360,8 @@ fn property_indexed_equals_linear_on_random_rule_sets() {
             select: SelectList::Star,
             bgp: Bgp::new(patterns),
         };
-        let indexed = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
-        let linear = LinearRewriter::new(&store).rewrite_query(&query, &mut it);
+        let indexed = IndexedRewriter::new(&store).rewrite_query(&query);
+        let linear = LinearRewriter::new(&store).rewrite_query(&query);
         assert_eq!(
             indexed,
             linear,
@@ -389,7 +389,7 @@ fn template_blank_nodes_freshened_per_expansion() {
         &mut it,
     )
     .unwrap();
-    let out = IndexedRewriter::new(&store).rewrite_query(&query, &mut it);
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
     assert_eq!(out.bgp.patterns.len(), 3);
     let o1 = out.bgp.patterns[0].o;
     let o2 = out.bgp.patterns[1].o;
@@ -400,6 +400,164 @@ fn template_blank_nodes_freshened_per_expansion() {
     // The query's own blank node passes through untouched.
     assert_eq!(out.bgp.patterns[2].s, query_blank);
     // Indexed and linear still agree.
-    let lin = LinearRewriter::new(&store).rewrite_query(&query, &mut it);
+    let lin = LinearRewriter::new(&store).rewrite_query(&query);
     assert_eq!(out, lin);
+}
+
+// ---------------------------------------------------------------------------
+// Scratch reuse, per-query determinism, and re-rewriting prior output.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scratch_reuse_matches_fresh_scratch() {
+    use sparql_rewrite_core::RewriteScratch;
+    let mut it = Interner::new();
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs = parse_bgp("?s <http://tgt/p> ?m . ?m <http://tgt/q> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+    let rw = IndexedRewriter::new(&store);
+
+    let queries = [
+        parse_query("SELECT * WHERE { ?a <http://src/p> ?b }", &mut it).unwrap(),
+        parse_query(
+            "SELECT ?x WHERE { ?x <http://src/p> ?y . ?y <http://src/p> ?z }",
+            &mut it,
+        )
+        .unwrap(),
+        parse_query("SELECT * WHERE { ?u <http://other/p> ?v }", &mut it).unwrap(),
+    ];
+    let mut reused = RewriteScratch::new();
+    for q in &queries {
+        rw.rewrite_query_into(q, &mut reused);
+        let via_reuse = reused.to_query();
+        // A scratch dirtied by earlier queries must give byte-identical
+        // results to a brand-new one.
+        let mut clean = RewriteScratch::new();
+        rw.rewrite_query_into(q, &mut clean);
+        assert_eq!(via_reuse, clean.to_query());
+        // And to the allocating convenience path.
+        assert_eq!(via_reuse, rw.rewrite_query(q));
+    }
+}
+
+#[test]
+fn rewrite_is_deterministic_per_query() {
+    let mut it = Interner::new();
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs = parse_bgp("?s <http://tgt/p> ?m . ?m <http://tgt/q> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+    let rw = IndexedRewriter::new(&store);
+    let query = parse_query(
+        "SELECT * WHERE { ?a <http://src/p> ?b . ?c <http://src/p> ?d }",
+        &mut it,
+    )
+    .unwrap();
+    // The fresh counter restarts per rewrite call, so the same query always
+    // produces the same output — the property that makes multi-threaded
+    // batch rewriting order-independent.
+    let first = rw.rewrite_query(&query);
+    for _ in 0..5 {
+        assert_eq!(rw.rewrite_query(&query), first);
+    }
+}
+
+#[test]
+fn rerewriting_output_skips_existing_fresh_counters() {
+    let mut it = Interner::new();
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs = parse_bgp("?s <http://mid/p> ?m . ?m <http://mid/q> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+    // Second stage rewrites the mid vocabulary onward, introducing another
+    // existential.
+    let lhs2 = parse_bgp("?s <http://mid/q> ?o", &mut it).unwrap().patterns[0];
+    let rhs2 = parse_bgp("?s <http://tgt/q1> ?k . ?k <http://tgt/q2> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store2 = AlignmentStore::new();
+    store2.add_predicate(lhs2, rhs2).unwrap();
+
+    let query = parse_bgp("?a <http://src/p> ?b", &mut it).unwrap();
+    let stage1 = IndexedRewriter::new(&store).rewrite_bgp(&query);
+    // stage1: ?a mid:p g0 . g0 mid:q ?b   (g0 = Fresh(0))
+    let stage2 = IndexedRewriter::new(&store2).rewrite_bgp(&stage1);
+    // stage2 must mint existentials that do not collide with Fresh(0).
+    let mut fresh: Vec<Term> = stage2
+        .patterns
+        .iter()
+        .flat_map(|tp| tp.terms())
+        .filter(|t| t.is_fresh())
+        .collect();
+    fresh.sort();
+    fresh.dedup();
+    assert_eq!(fresh.len(), 2, "{stage2:?}");
+    // The join structure survives: g0 appears in both the passthrough and
+    // the expanded patterns, and the new existential differs from it.
+    assert_eq!(stage2.patterns.len(), 3);
+    assert_eq!(stage2.patterns[0].o, stage2.patterns[1].s);
+    assert_ne!(stage2.patterns[1].s, stage2.patterns[2].s);
+}
+
+#[test]
+fn fresh_vars_never_collide_with_g_named_query_vars_when_rendered() {
+    let mut it = Interner::new();
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs = parse_bgp("?s <http://tgt/p> ?m . ?m <http://tgt/q> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+    // The query itself uses ?g0 and ?g1 — the names the renderer would
+    // otherwise hand to the first two fresh existentials.
+    let query = parse_query("SELECT ?g0 WHERE { ?g0 <http://src/p> ?g1 }", &mut it).unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
+    let rendered = out.display(&it).to_string();
+    // The existential joins the two expanded patterns and must be a new
+    // name, not ?g0/?g1.
+    assert!(rendered.contains("?g2"), "{rendered}");
+    let reparsed = parse_query(&rendered, &mut it).unwrap();
+    assert_eq!(reparsed.bgp.patterns.len(), 2);
+    // Join variable is shared between the two reparsed patterns and is
+    // distinct from the projected ?g0 and the original ?g1.
+    let join = reparsed.bgp.patterns[0].o;
+    assert_eq!(join, reparsed.bgp.patterns[1].s);
+    assert_ne!(join, var(&mut it, "g0"));
+    assert_ne!(join, var(&mut it, "g1"));
+}
+
+#[test]
+fn fresh_count_excludes_preexisting_fresh_terms() {
+    use sparql_rewrite_core::RewriteScratch;
+    let mut it = Interner::new();
+    // Input already carries Fresh(0)/Fresh(1) (as if from a prior rewrite);
+    // an empty rule set mints nothing, so fresh_count must be 0.
+    let p = iri(&mut it, "http://ex/p");
+    let prior = Bgp::new(vec![TriplePattern::new(Term::fresh(0), p, Term::fresh(1))]);
+    let store = AlignmentStore::new();
+    let rw = IndexedRewriter::new(&store);
+    let mut scratch = RewriteScratch::new();
+    rw.rewrite_bgp_into(&prior, &mut scratch);
+    assert_eq!(scratch.fresh_count(), 0);
+
+    // With a rule that mints one existential, the count is exactly 1 and the
+    // new counter sits above the pre-existing ones.
+    let lhs = parse_bgp("?s <http://ex/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs = parse_bgp("?s <http://tgt/p> ?m . ?m <http://tgt/q> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store2 = AlignmentStore::new();
+    store2.add_predicate(lhs, rhs).unwrap();
+    let rw2 = IndexedRewriter::new(&store2);
+    rw2.rewrite_bgp_into(&prior, &mut scratch);
+    assert_eq!(scratch.fresh_count(), 1);
+    let minted = scratch.patterns()[0].o;
+    assert!(minted.is_fresh() && minted.fresh_index() >= 2, "{minted:?}");
 }
