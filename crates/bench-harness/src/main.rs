@@ -37,6 +37,9 @@ struct ConfigResult {
     n_rules: usize,
     patterns_per_query: usize,
     strategy: &'static str,
+    /// "flat" for plain BGP batches, "group" for OPTIONAL/UNION/FILTER
+    /// workloads driving the recursive rewrite path.
+    shape: &'static str,
     ns_per_query: f64,
     ns_per_pattern: f64,
     patterns_per_sec: f64,
@@ -50,6 +53,7 @@ fn run_config(
     n_rules: usize,
     patterns_per_query: usize,
     strategy_linear: bool,
+    group_shapes: bool,
 ) -> ConfigResult {
     let spec = WorkloadSpec {
         n_rules,
@@ -58,6 +62,7 @@ fn run_config(
         // for the indexed path on tiny queries.
         n_queries: 64,
         seed: 0x5eed_0000 + n_rules as u64,
+        group_shapes,
     };
     let mut w = generate(&spec);
     let store = std::mem::take(&mut w.store);
@@ -92,6 +97,7 @@ fn run_config(
         n_rules,
         patterns_per_query,
         strategy: if strategy_linear { "linear" } else { "indexed" },
+        shape: if group_shapes { "group" } else { "flat" },
         ns_per_query,
         ns_per_pattern,
         patterns_per_sec: 1e9 / ns_per_pattern,
@@ -121,6 +127,7 @@ fn run_thread_scaling(quick: bool, thread_counts: &[usize]) -> ScalingReport {
         patterns_per_query: 8,
         n_queries: 256,
         seed: 0x0007_4ead_5ca1_e000,
+        group_shapes: false,
     };
     let mut w = generate(&spec);
     let store = Arc::new(std::mem::take(&mut w.store));
@@ -211,25 +218,49 @@ fn main() {
 
     let mut results: Vec<ConfigResult> = Vec::new();
     eprintln!(
-        "{:>8} {:>9} {:>9} {:>14} {:>14} {:>16} {:>8}",
-        "rules", "patterns", "strategy", "ns/query", "ns/pattern", "patterns/sec", "allocs"
+        "{:>8} {:>9} {:>9} {:>6} {:>14} {:>14} {:>16} {:>8}",
+        "rules",
+        "patterns",
+        "strategy",
+        "shape",
+        "ns/query",
+        "ns/pattern",
+        "patterns/sec",
+        "allocs"
     );
+    let run_one = |results: &mut Vec<ConfigResult>, n_rules, ppq, linear, group| {
+        let r = run_config(&bencher, n_rules, ppq, linear, group);
+        eprintln!(
+            "{:>8} {:>9} {:>9} {:>6} {:>14.0} {:>14.1} {:>16.0} {:>8.2}",
+            r.n_rules,
+            r.patterns_per_query,
+            r.strategy,
+            r.shape,
+            r.ns_per_query,
+            r.ns_per_pattern,
+            r.patterns_per_sec,
+            r.allocs_per_rewrite
+        );
+        results.push(r);
+    };
     for &n_rules in rule_counts {
         for &ppq in pattern_counts {
             for linear in [false, true] {
-                let r = run_config(&bencher, n_rules, ppq, linear);
-                eprintln!(
-                    "{:>8} {:>9} {:>9} {:>14.0} {:>14.1} {:>16.0} {:>8.2}",
-                    r.n_rules,
-                    r.patterns_per_query,
-                    r.strategy,
-                    r.ns_per_query,
-                    r.ns_per_pattern,
-                    r.patterns_per_sec,
-                    r.allocs_per_rewrite
-                );
-                results.push(r);
+                run_one(&mut results, n_rules, ppq, linear, false);
             }
+        }
+    }
+    // Group-shaped workloads gate the recursive path (nested groups,
+    // OPTIONAL, UNION — including multi-template UNION expansion — and
+    // FILTER substitution) under the same alloc/throughput gates.
+    let group_rule_counts: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &n_rules in group_rule_counts {
+        for linear in [false, true] {
+            run_one(&mut results, n_rules, 8, linear, true);
         }
     }
 
@@ -242,7 +273,10 @@ fn main() {
         for &ppq in pattern_counts {
             let find = |s: &str| {
                 results.iter().find(|r| {
-                    r.n_rules == n_rules && r.patterns_per_query == ppq && r.strategy == s
+                    r.n_rules == n_rules
+                        && r.patterns_per_query == ppq
+                        && r.strategy == s
+                        && r.shape == "flat"
                 })
             };
             if let (Some(idx), Some(lin)) = (find("indexed"), find("linear")) {
@@ -288,6 +322,7 @@ fn main() {
         o.int("rules", r.n_rules as u64)
             .int("patterns_per_query", r.patterns_per_query as u64)
             .str("strategy", r.strategy)
+            .str("shape", r.shape)
             .num("ns_per_query_median", r.ns_per_query)
             .num("ns_per_pattern_median", r.ns_per_pattern)
             .num("patterns_per_sec", r.patterns_per_sec)

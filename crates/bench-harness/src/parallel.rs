@@ -118,6 +118,9 @@ mod tests {
             patterns_per_query: 8,
             n_queries: 97, // deliberately not divisible by the thread counts
             seed: 0xfeed_beef,
+            // Group shapes: the batch engine must stay deterministic across
+            // thread counts on the recursive path (UNION expansion included).
+            group_shapes: true,
         };
         let mut w = generate(&spec);
         let store = Arc::new(std::mem::take(&mut w.store));

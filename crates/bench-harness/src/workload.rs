@@ -1,11 +1,18 @@
 //! Deterministic synthetic workloads: alignment rule sets of configurable
-//! size plus query batches that exercise them.
+//! size plus query batches that exercise them — flat BGP batches or
+//! group-shaped batches (OPTIONAL / UNION / FILTER / nested groups) that
+//! drive the recursive rewrite path.
 //!
 //! All randomness comes from a seeded xorshift64* generator so every run —
 //! and both rewriting strategies within a run — see byte-identical
 //! workloads.
 
-use sparql_rewrite_core::{AlignmentStore, Bgp, Interner, Query, SelectList, Term, TriplePattern};
+use std::fmt::Write as _;
+
+use sparql_rewrite_core::{
+    parse_query, AlignmentStore, Bgp, GroupPattern, Interner, Query, SelectList, Term,
+    TriplePattern,
+};
 
 /// xorshift64* — tiny, fast, deterministic; no `rand` crate in the offline
 /// container.
@@ -52,6 +59,13 @@ pub struct WorkloadSpec {
     pub patterns_per_query: usize,
     pub n_queries: usize,
     pub seed: u64,
+    /// When true, queries are group graph patterns — a base triples run
+    /// plus OPTIONAL, an explicit UNION, and a FILTER — and every eighth
+    /// predicate carries a *second* template so multi-template UNION
+    /// expansion fires on real traffic. When false, queries are the flat
+    /// BGP batches of the original benchmark (byte-identical to the
+    /// pre-group-pattern workloads for a given seed).
+    pub group_shapes: bool,
 }
 
 /// Build a workload: `n_rules` alignments (half entity, half predicate —
@@ -103,6 +117,17 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         src_entities.push(src);
         store.add_entity(src, tgt).expect("valid entity alignment");
     }
+    if spec.group_shapes {
+        // Second template on every eighth predicate: those patterns now
+        // match two rules and must expand into a two-branch UNION.
+        for i in (0..n_pred_rules).step_by(8) {
+            let lhs = TriplePattern::new(var_s, src_preds[i], var_o);
+            let alt = iri(&mut interner, &mut name, "http://tgt.example.org/alt/p", i);
+            store
+                .add_predicate(lhs, vec![TriplePattern::new(var_s, alt, var_o)])
+                .expect("valid template");
+        }
+    }
 
     // Predicates/entities outside the rule set, for the ~20% miss traffic.
     let mut miss_preds = Vec::with_capacity(64);
@@ -126,33 +151,43 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
 
     let mut queries = Vec::with_capacity(spec.n_queries);
     let mut total_patterns = 0u64;
-    for _ in 0..spec.n_queries {
-        let mut patterns = Vec::with_capacity(spec.patterns_per_query);
-        for k in 0..spec.patterns_per_query {
-            let s = vars[k % vars.len()];
-            let p = if !src_preds.is_empty() && rng.chance(8, 10) {
-                src_preds[rng.below(src_preds.len())]
-            } else {
-                miss_preds[rng.below(miss_preds.len())]
-            };
-            // A third of objects are concrete entities (half of those hit an
-            // entity alignment), the rest chain to the next variable.
-            let o = if !src_entities.is_empty() && rng.chance(1, 3) {
-                if rng.chance(1, 2) {
-                    src_entities[rng.below(src_entities.len())]
-                } else {
-                    vars[(k + 7) % vars.len()]
-                }
-            } else {
-                vars[(k + 1) % vars.len()]
-            };
-            patterns.push(TriplePattern::new(s, p, o));
+    if spec.group_shapes {
+        let mut text = String::with_capacity(1024);
+        for _ in 0..spec.n_queries {
+            group_query_text(&mut rng, spec, n_pred_rules, n_entity_rules, &mut text);
+            let q = parse_query(&text, &mut interner).expect("generated group query parses");
+            total_patterns += q.pattern.triples.len() as u64;
+            queries.push(q);
         }
-        total_patterns += patterns.len() as u64;
-        queries.push(Query {
-            select: SelectList::Star,
-            bgp: Bgp::new(patterns),
-        });
+    } else {
+        for _ in 0..spec.n_queries {
+            let mut patterns = Vec::with_capacity(spec.patterns_per_query);
+            for k in 0..spec.patterns_per_query {
+                let s = vars[k % vars.len()];
+                let p = if !src_preds.is_empty() && rng.chance(8, 10) {
+                    src_preds[rng.below(src_preds.len())]
+                } else {
+                    miss_preds[rng.below(miss_preds.len())]
+                };
+                // A third of objects are concrete entities (half of those hit an
+                // entity alignment), the rest chain to the next variable.
+                let o = if !src_entities.is_empty() && rng.chance(1, 3) {
+                    if rng.chance(1, 2) {
+                        src_entities[rng.below(src_entities.len())]
+                    } else {
+                        vars[(k + 7) % vars.len()]
+                    }
+                } else {
+                    vars[(k + 1) % vars.len()]
+                };
+                patterns.push(TriplePattern::new(s, p, o));
+            }
+            total_patterns += patterns.len() as u64;
+            queries.push(Query {
+                select: SelectList::Star,
+                pattern: GroupPattern::from_bgp(&Bgp::new(patterns)),
+            });
+        }
     }
 
     Workload {
@@ -161,6 +196,60 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         queries,
         total_patterns,
     }
+}
+
+/// Write one group-shaped query into `text`: roughly `patterns_per_query`
+/// triples split across a base run, an OPTIONAL body, a two-branch UNION,
+/// a nested group, and a FILTER whose operands hit the entity alignments.
+fn group_query_text(
+    rng: &mut Rng,
+    spec: &WorkloadSpec,
+    n_pred_rules: usize,
+    n_entity_rules: usize,
+    text: &mut String,
+) {
+    let pred = |rng: &mut Rng, out: &mut String| {
+        if n_pred_rules > 0 && rng.chance(8, 10) {
+            let _ = write!(
+                out,
+                "<http://src.example.org/onto/p{}>",
+                rng.below(n_pred_rules)
+            );
+        } else {
+            let _ = write!(out, "<http://other.example.org/onto/p{}>", rng.below(64));
+        }
+    };
+    let triple = |rng: &mut Rng, out: &mut String, k: usize| {
+        let _ = write!(out, "?v{} ", k % 64);
+        pred(rng, out);
+        let _ = write!(out, " ?v{} . ", (k + 1) % 64);
+    };
+    text.clear();
+    text.push_str("SELECT * WHERE { ");
+    let base = spec.patterns_per_query.saturating_sub(4).max(1);
+    for k in 0..base {
+        triple(rng, text, k);
+    }
+    text.push_str("OPTIONAL { ");
+    triple(rng, text, base);
+    text.push_str("} { ");
+    triple(rng, text, base + 1);
+    text.push_str("} UNION { { ");
+    triple(rng, text, base + 2);
+    text.push_str("} } ");
+    let ent = if n_entity_rules > 0 {
+        format!(
+            "<http://src.example.org/ent/e{}>",
+            rng.below(n_entity_rules)
+        )
+    } else {
+        "<http://other.example.org/ent/e0>".to_string()
+    };
+    let _ = write!(
+        text,
+        "FILTER(?v0 != {ent} || ?v1 < {} && !(?v2 = \"x\"@en)) }}",
+        rng.below(100)
+    );
 }
 
 #[cfg(test)]
@@ -175,6 +264,7 @@ mod tests {
             patterns_per_query: 8,
             n_queries: 10,
             seed: 42,
+            group_shapes: false,
         };
         let a = generate(&spec);
         let b = generate(&spec);
@@ -184,20 +274,69 @@ mod tests {
     }
 
     #[test]
-    fn indexed_and_linear_agree_on_generated_workload() {
+    fn group_workload_is_deterministic_and_group_shaped() {
         let spec = WorkloadSpec {
-            n_rules: 500,
-            patterns_per_query: 16,
-            n_queries: 20,
-            seed: 7,
+            n_rules: 200,
+            patterns_per_query: 8,
+            n_queries: 10,
+            seed: 42,
+            group_shapes: true,
+        };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.queries, b.queries);
+        assert!(a.total_patterns > 0);
+        // Every query carries the full shape mix: none is a flat BGP.
+        assert!(a.queries.iter().all(|q| !q.pattern.is_flat()));
+        // Multi-template rules exist (second template per eighth predicate).
+        assert!(a.store.len() > 200);
+    }
+
+    #[test]
+    fn indexed_and_linear_agree_on_generated_workload() {
+        for group_shapes in [false, true] {
+            let spec = WorkloadSpec {
+                n_rules: 500,
+                patterns_per_query: 16,
+                n_queries: 20,
+                seed: 7,
+                group_shapes,
+            };
+            let w = generate(&spec);
+            let indexed = IndexedRewriter::new(&w.store);
+            let linear = LinearRewriter::new(&w.store);
+            for q in &w.queries {
+                let a = indexed.rewrite_query(q);
+                let b = linear.rewrite_query(q);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn group_workload_rewrites_expand_unions() {
+        let spec = WorkloadSpec {
+            n_rules: 64,
+            patterns_per_query: 12,
+            n_queries: 16,
+            seed: 3,
+            group_shapes: true,
         };
         let w = generate(&spec);
         let indexed = IndexedRewriter::new(&w.store);
-        let linear = LinearRewriter::new(&w.store);
-        for q in &w.queries {
-            let a = indexed.rewrite_query(q);
-            let b = linear.rewrite_query(q);
-            assert_eq!(a, b);
-        }
+        // At least one query must hit a double-template predicate and grow
+        // an extra UNION beyond the one the query text already contains.
+        let extra_unions = w.queries.iter().any(|q| {
+            let out = indexed.rewrite_query(q);
+            let unions = |qq: &Query| {
+                qq.pattern
+                    .nodes
+                    .iter()
+                    .filter(|n| matches!(n, sparql_rewrite_core::PatternNode::Union { .. }))
+                    .count()
+            };
+            unions(&out) > unions(q)
+        });
+        assert!(extra_unions, "no multi-template UNION expansion fired");
     }
 }

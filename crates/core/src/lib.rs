@@ -11,12 +11,21 @@
 //! * [`term::Term`] packs kind + interner symbol into 4 bytes, so a
 //!   [`pattern::TriplePattern`] is a 12-byte `Copy` value and all hot-path
 //!   comparisons are integer ops ([`interner::Interner`] holds the strings).
+//! * [`pattern::GroupPattern`] stores the full group-graph-pattern tree
+//!   (nested groups, OPTIONAL, UNION, FILTER) *flattened*: nodes, sibling
+//!   links, triples, and filter expressions are four flat `Vec`s of `Copy`
+//!   values — no per-node boxing, so a whole rewritten tree fits in
+//!   reusable scratch buffers.
 //! * [`parser`] tokenizes without allocating — input slices are borrowed
 //!   until intern time.
 //! * [`align::AlignmentStore`] indexes rules by term/predicate symbol in
 //!   hash maps with [`fxhash`], so candidate lookup is O(1) per triple
 //!   pattern; [`rewriter::LinearRewriter`] is the O(rules) baseline kept
 //!   behind the same [`rewriter::Rewriter`] trait for benchmarking.
+//! * [`rewriter`] applies entity alignments (inside FILTER expressions
+//!   too) and expands a triple pattern matched by N predicate templates
+//!   into an N-branch UNION — the paper's union semantics — recursively
+//!   over the whole group tree.
 //!
 //! The engine has two phases. The **build phase** is single-threaded and
 //! mutable: parse queries and rules into an [`interner::Interner`] and an
@@ -45,6 +54,9 @@ pub mod term;
 pub use align::{AlignError, AlignmentStore, Rule};
 pub use interner::{FrozenInterner, Interner, Resolve};
 pub use parser::{parse_bgp, parse_query, ParseError};
-pub use pattern::{Bgp, Query, SelectList, TriplePattern};
+pub use pattern::{
+    Bgp, ChainBuilder, CmpOp, ExprNode, GroupPattern, PatternNode, Query, SelectList,
+    TriplePattern, NO_NODE,
+};
 pub use rewriter::{IndexedRewriter, LinearRewriter, RewriteScratch, Rewriter};
 pub use term::{Symbol, Term, TermKind};

@@ -1,5 +1,5 @@
-//! Zero-copy tokenizer and parser for the SELECT/WHERE BGP fragment of
-//! SPARQL.
+//! Zero-copy tokenizer and parser for the SELECT/WHERE group-graph-pattern
+//! fragment of SPARQL.
 //!
 //! The tokenizer yields `&str` slices borrowing from the input; nothing is
 //! allocated until a term's final text is known (after PREFIX expansion for
@@ -11,26 +11,45 @@
 //! WHERE {
 //!   ?x foaf:name ?name ; foaf:mbox ?mbox .
 //!   ?x a foaf:Person .
+//!   OPTIONAL { ?x foaf:age ?age }
+//!   { ?x foaf:nick ?n } UNION { ?x foaf:givenName ?n }
+//!   FILTER(?age >= 18 && ?name != "Nobody")
 //! }
 //! ```
 //!
 //! Triple blocks support `;` (predicate-object lists) and `,` (object
-//! lists); `a` expands to `rdf:type`. OPTIONAL/UNION/FILTER are out of scope
-//! for this crate (see ROADMAP) and produce a parse error.
+//! lists); `a` expands to `rdf:type`. Group graph patterns support nesting,
+//! `OPTIONAL`, n-ary `UNION`, and `FILTER` with comparison (`=`, `!=`, `<`,
+//! `<=`, `>`, `>=`) and logical (`&&`, `||`, `!`) expressions over
+//! variables, IRIs, and literals. Bare numeric (`42`, `3.14`, `-7`) and
+//! boolean (`true` / `false`) tokens are sugar for xsd-typed literals.
+//! GRAPH/SERVICE/MINUS remain out of scope (see ROADMAP: federation) and
+//! produce a parse error.
+//!
+//! Parse errors carry the byte offset of the **start** of the offending
+//! token (not wherever the tokenizer cursor happens to sit after
+//! lookahead), so editors can point at the right spot.
 
 use std::fmt;
 
 use crate::fxhash::FxHashMap;
 use crate::interner::Interner;
-use crate::pattern::{Bgp, Query, SelectList, TriplePattern};
+use crate::pattern::{
+    Bgp, ChainBuilder, CmpOp, ExprNode, GroupPattern, PatternNode, Query, SelectList, TriplePattern,
+};
 use crate::term::Term;
 
 pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+pub const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     pub message: String,
-    /// Byte offset into the input where the error was detected.
+    /// Byte offset into the input where the error was detected — the start
+    /// of the offending token for parser-level errors, the exact byte for
+    /// tokenizer-level ones.
     pub offset: usize,
 }
 
@@ -53,25 +72,49 @@ enum Token<'a> {
     Var(&'a str),
     /// Full literal surface form including quotes and any @lang/^^ suffix.
     Literal(&'a str),
+    /// Bare numeric literal (`42`, `-3.14`); `decimal` is true when it
+    /// contains a fraction dot.
+    Numeric {
+        text: &'a str,
+        decimal: bool,
+    },
     /// `_:label` with the `_:` stripped.
     Blank(&'a str),
-    /// A bare word: SELECT, WHERE, PREFIX, `a`, `*`.
+    /// A bare word: SELECT, WHERE, PREFIX, `a`, `*`, `true`, …
     Word(&'a str),
     LBrace,
     RBrace,
+    LParen,
+    RParen,
     Dot,
     Semicolon,
     Comma,
+    /// `!` (standalone, not `!=`).
+    Bang,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `=`, `!=`, `<`, `<=`, `>`, `>=`.
+    Cmp(CmpOp),
 }
 
 struct Tokenizer<'a> {
     input: &'a str,
     pos: usize,
+    /// Byte offset where the most recently returned token started (== `pos`
+    /// when the last call returned `None`). This — not the post-token
+    /// cursor — is what parser-level errors report.
+    last_start: usize,
 }
 
 impl<'a> Tokenizer<'a> {
     fn new(input: &'a str) -> Tokenizer<'a> {
-        Tokenizer { input, pos: 0 }
+        Tokenizer {
+            input,
+            pos: 0,
+            last_start: 0,
+        }
     }
 
     fn bytes(&self) -> &'a [u8] {
@@ -165,8 +208,65 @@ impl<'a> Tokenizer<'a> {
         Ok(Token::Literal(&self.input[start..self.pos]))
     }
 
+    /// Scan a bare numeric literal (`42`, `3.14`, optionally signed). The
+    /// fraction dot is consumed only when a digit follows, so `3 .` and the
+    /// triple-terminating `3.` still tokenize as integer-then-Dot.
+    fn scan_numeric(&mut self) -> Result<Token<'a>, ParseError> {
+        let b = self.bytes();
+        let start = self.pos;
+        if b[self.pos] == b'+' || b[self.pos] == b'-' {
+            self.pos += 1;
+        }
+        while b.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let mut decimal = false;
+        if b.get(self.pos) == Some(&b'.') && b.get(self.pos + 1).is_some_and(u8::is_ascii_digit) {
+            decimal = true;
+            self.pos += 1;
+            while b.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        // `3abc` / `1e5` would otherwise split into number + word and
+        // silently corrupt the triple block — reject at the digit boundary.
+        if b.get(self.pos).is_some_and(|c| is_name_byte(*c)) {
+            return Err(self.err("malformed numeric literal"));
+        }
+        Ok(Token::Numeric {
+            text: &self.input[start..self.pos],
+            decimal,
+        })
+    }
+
+    /// At a `<`: an IRI reference if a legal IRIREF body terminated by `>`
+    /// follows, otherwise the `<` / `<=` comparison operator. (SPARQL
+    /// IRIREF bodies exclude whitespace, quotes, braces, and `<`, so
+    /// `FILTER(?x < ?y)` is unambiguous, while `<=x>` stays the IRI "=x" —
+    /// the IRI interpretation wins whenever one exists.)
+    fn scan_angle(&mut self) -> Token<'a> {
+        let b = self.bytes();
+        debug_assert_eq!(b[self.pos], b'<');
+        let mut end = self.pos + 1;
+        while end < b.len() && is_iri_byte(b[end]) {
+            end += 1;
+        }
+        if b.get(end) == Some(&b'>') {
+            let start = self.pos + 1;
+            self.pos = end + 1;
+            Token::IriRef(&self.input[start..end])
+        } else if b.get(self.pos + 1) == Some(&b'=') {
+            self.pos += 2;
+            Token::Cmp(CmpOp::Le)
+        } else {
+            self.pos += 1;
+            Token::Cmp(CmpOp::Lt)
+        }
+    }
+
     fn next(&mut self) -> Result<Option<Token<'a>>, ParseError> {
         self.skip_trivia();
+        self.last_start = self.pos;
         let b = self.bytes();
         let Some(&c) = b.get(self.pos) else {
             return Ok(None);
@@ -179,6 +279,14 @@ impl<'a> Tokenizer<'a> {
             b'}' => {
                 self.pos += 1;
                 Token::RBrace
+            }
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
             }
             b'.' => {
                 self.pos += 1;
@@ -196,18 +304,45 @@ impl<'a> Tokenizer<'a> {
                 self.pos += 1;
                 Token::Word("*")
             }
-            b'<' => {
-                let start = self.pos + 1;
-                let mut end = start;
-                while end < b.len() && b[end] != b'>' {
-                    end += 1;
-                }
-                if end == b.len() {
-                    return Err(self.err("unterminated IRI reference"));
-                }
-                self.pos = end + 1;
-                Token::IriRef(&self.input[start..end])
+            b'=' => {
+                self.pos += 1;
+                Token::Cmp(CmpOp::Eq)
             }
+            b'!' => {
+                if b.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Cmp(CmpOp::Ne)
+                } else {
+                    self.pos += 1;
+                    Token::Bang
+                }
+            }
+            b'>' => {
+                if b.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Cmp(CmpOp::Ge)
+                } else {
+                    self.pos += 1;
+                    Token::Cmp(CmpOp::Gt)
+                }
+            }
+            b'&' => {
+                if b.get(self.pos + 1) == Some(&b'&') {
+                    self.pos += 2;
+                    Token::AndAnd
+                } else {
+                    return Err(self.err("expected '&&'"));
+                }
+            }
+            b'|' => {
+                if b.get(self.pos + 1) == Some(&b'|') {
+                    self.pos += 2;
+                    Token::OrOr
+                } else {
+                    return Err(self.err("expected '||'"));
+                }
+            }
+            b'<' => self.scan_angle(),
             b'?' | b'$' => {
                 let start = self.pos + 1;
                 let mut end = start;
@@ -232,6 +367,10 @@ impl<'a> Tokenizer<'a> {
                 }
                 self.pos = end;
                 Token::Blank(&self.input[start..end])
+            }
+            c if c.is_ascii_digit() => self.scan_numeric()?,
+            b'+' | b'-' if b.get(self.pos + 1).is_some_and(u8::is_ascii_digit) => {
+                self.scan_numeric()?
             }
             c if is_name_byte(c) || c == b':' => {
                 let start = self.pos;
@@ -262,12 +401,27 @@ fn is_name_byte(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || !c.is_ascii()
 }
 
+/// Bytes legal inside a SPARQL IRIREF body (`<...>`): everything except
+/// control/space and `<ESC>`-class punctuation per the grammar.
+#[inline]
+fn is_iri_byte(c: u8) -> bool {
+    !(c <= 0x20
+        || matches!(
+            c,
+            b'<' | b'>' | b'"' | b'{' | b'}' | b'|' | b'^' | b'`' | b'\\'
+        ))
+}
+
 /// Parser state: a tokenizer with one token of lookahead, the PREFIX table
 /// (maps prefix name without the colon to its expansion), and the interner
 /// terms are minted into.
 pub struct Parser<'a, 'i> {
     tok: Tokenizer<'a>,
-    peeked: Option<Token<'a>>,
+    /// One token of lookahead plus the byte offset it started at.
+    peeked: Option<(Token<'a>, usize)>,
+    /// Start offset of the most recently observed token (consumed *or*
+    /// peeked) — the position parser-level errors report.
+    err_off: usize,
     prefixes: FxHashMap<&'a str, &'a str>,
     interner: &'i mut Interner,
     // Scratch buffer reused for every QName expansion to avoid a fresh
@@ -280,6 +434,7 @@ impl<'a, 'i> Parser<'a, 'i> {
         Parser {
             tok: Tokenizer::new(input),
             peeked: None,
+            err_off: 0,
             prefixes: FxHashMap::default(),
             interner,
             expand_buf: String::new(),
@@ -287,28 +442,38 @@ impl<'a, 'i> Parser<'a, 'i> {
     }
 
     fn next_token(&mut self) -> Result<Option<Token<'a>>, ParseError> {
-        if let Some(t) = self.peeked.take() {
+        if let Some((t, off)) = self.peeked.take() {
+            self.err_off = off;
             return Ok(Some(t));
         }
-        self.tok.next()
+        let t = self.tok.next()?;
+        self.err_off = self.tok.last_start;
+        Ok(t)
     }
 
     fn peek(&mut self) -> Result<Option<Token<'a>>, ParseError> {
         if self.peeked.is_none() {
-            self.peeked = self.tok.next()?;
+            self.peeked = self.tok.next()?.map(|t| (t, self.tok.last_start));
         }
-        Ok(self.peeked)
+        // An error raised while looking at the peeked token should point at
+        // it, not at wherever the cursor stopped after scanning it.
+        self.err_off = self
+            .peeked
+            .map(|(_, off)| off)
+            .unwrap_or(self.tok.last_start);
+        Ok(self.peeked.map(|(t, _)| t))
     }
 
     fn expect(&mut self, what: &str) -> Result<Token<'a>, ParseError> {
-        self.next_token()?.ok_or_else(|| {
-            self.tok
-                .err(format!("unexpected end of input, expected {what}"))
-        })
+        self.next_token()?
+            .ok_or_else(|| self.err(format!("unexpected end of input, expected {what}")))
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        self.tok.err(message)
+        ParseError {
+            message: message.into(),
+            offset: self.err_off,
+        }
     }
 
     /// Expand a QName against the PREFIX table and intern the result.
@@ -325,11 +490,24 @@ impl<'a, 'i> Parser<'a, 'i> {
     }
 
     /// Intern a literal, canonicalizing a `^^prefix:local` datatype to
-    /// `^^<expanded-iri>` so rendered output needs no PREFIX declaration and
-    /// the QName and full-IRI spellings of one literal share a symbol.
+    /// `^^<expanded-iri>` (so rendered output needs no PREFIX declaration
+    /// and the QName and full-IRI spellings of one literal share a symbol)
+    /// and lowercasing any language tag (RDF lang tags are case-insensitive,
+    /// so `"x"@EN` and `"x"@en` must intern to one symbol).
     fn intern_literal(&mut self, lit: &str) -> Result<Term, ParseError> {
         let close = lit.rfind('"').expect("tokenizer guarantees quotes");
-        if let Some(dtype) = lit[close + 1..].strip_prefix("^^") {
+        let suffix = &lit[close + 1..];
+        if let Some(tag) = suffix.strip_prefix('@') {
+            if tag.bytes().any(|b| b.is_ascii_uppercase()) {
+                self.expand_buf.clear();
+                self.expand_buf.push_str(&lit[..close + 1]);
+                self.expand_buf.push('@');
+                for b in tag.bytes() {
+                    self.expand_buf.push(b.to_ascii_lowercase() as char);
+                }
+                return Ok(Term::literal(self.interner.intern(&self.expand_buf)));
+            }
+        } else if let Some(dtype) = suffix.strip_prefix("^^") {
             if !dtype.starts_with('<') {
                 let colon = dtype
                     .find(':')
@@ -350,15 +528,36 @@ impl<'a, 'i> Parser<'a, 'i> {
         Ok(Term::literal(self.interner.intern(lit)))
     }
 
+    /// Intern a bare literal token (`42`, `3.14`, `true`) as its xsd-typed
+    /// quoted form, so the sugar and the explicit `"42"^^<xsd:integer>`
+    /// spelling share a symbol and render identically.
+    fn intern_typed(&mut self, text: &str, datatype: &str) -> Term {
+        self.expand_buf.clear();
+        self.expand_buf.push('"');
+        self.expand_buf.push_str(text);
+        self.expand_buf.push_str("\"^^<");
+        self.expand_buf.push_str(datatype);
+        self.expand_buf.push('>');
+        Term::literal(self.interner.intern(&self.expand_buf))
+    }
+
     fn parse_term(&mut self, tok: Token<'a>, position: &str) -> Result<Term, ParseError> {
         match tok {
             Token::IriRef(iri) => Ok(Term::iri(self.interner.intern(iri))),
             Token::QName(q) => self.intern_qname(q),
             Token::Var(v) => Ok(Term::var(self.interner.intern(v))),
             Token::Literal(l) => self.intern_literal(l),
+            // Bare-literal sugar is legal only where a literal is: object
+            // position and FILTER expressions, never as subject or verb.
+            Token::Numeric { text, decimal } if matches!(position, "object" | "expression") => {
+                Ok(self.intern_typed(text, if decimal { XSD_DECIMAL } else { XSD_INTEGER }))
+            }
             Token::Blank(b) => Ok(Term::blank(self.interner.intern(b))),
             Token::Word("a") if position == "predicate" => {
                 Ok(Term::iri(self.interner.intern(RDF_TYPE)))
+            }
+            Token::Word(w @ ("true" | "false")) if matches!(position, "object" | "expression") => {
+                Ok(self.intern_typed(w, XSD_BOOLEAN))
             }
             other => Err(self.err(format!("expected {position} term, found {other:?}"))),
         }
@@ -408,31 +607,138 @@ impl<'a, 'i> Parser<'a, 'i> {
         }
     }
 
-    /// Parse the `{ ... }` group as a flat BGP, supporting `.`-separated
-    /// triple blocks with `;` predicate-object lists and `,` object lists.
-    fn parse_bgp(&mut self) -> Result<Bgp, ParseError> {
+    /// Parse `{ GroupGraphPattern }` into `out`, returning the index of the
+    /// created [`PatternNode::Group`]. The leading `{` is consumed here.
+    fn parse_group(&mut self, out: &mut GroupPattern) -> Result<u32, ParseError> {
         match self.expect("'{'")? {
             Token::LBrace => {}
             other => return Err(self.err(format!("expected '{{', found {other:?}"))),
         }
-        let mut patterns = Vec::new();
+        let first = self.parse_group_body(out)?;
+        Ok(out.push_node(PatternNode::Group { first }))
+    }
+
+    /// Parse group contents up to and including the closing `}`, returning
+    /// the head of the child chain. The opening `{` must already be
+    /// consumed. Triple blocks accumulate into maximal [`PatternNode::
+    /// Triples`] runs; OPTIONAL / UNION / FILTER / nested groups close the
+    /// current run and become siblings.
+    fn parse_group_body(&mut self, out: &mut GroupPattern) -> Result<u32, ParseError> {
+        let mut chain = ChainBuilder::new();
+        let mut run_start = out.triples.len();
+        macro_rules! flush_run {
+            () => {
+                if out.triples.len() > run_start {
+                    let node = out.push_node(PatternNode::Triples {
+                        start: run_start as u32,
+                        len: (out.triples.len() - run_start) as u32,
+                    });
+                    chain.push(out, node);
+                }
+            };
+        }
         loop {
             match self.peek()? {
                 Some(Token::RBrace) => {
                     self.next_token()?;
+                    flush_run!();
                     break;
                 }
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("OPTIONAL") => {
+                    flush_run!();
+                    self.next_token()?;
+                    match self.expect("'{' after OPTIONAL")? {
+                        Token::LBrace => {}
+                        other => {
+                            return Err(
+                                self.err(format!("expected '{{' after OPTIONAL, found {other:?}"))
+                            )
+                        }
+                    }
+                    let inner = self.parse_group_body(out)?;
+                    let node = out.push_node(PatternNode::Optional { first: inner });
+                    chain.push(out, node);
+                    self.skip_optional_dot()?;
+                    run_start = out.triples.len();
+                }
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("FILTER") => {
+                    flush_run!();
+                    self.next_token()?;
+                    match self.expect("'(' after FILTER")? {
+                        Token::LParen => {}
+                        other => {
+                            return Err(
+                                self.err(format!("expected '(' after FILTER, found {other:?}"))
+                            )
+                        }
+                    }
+                    let expr = self.parse_expr(out)?;
+                    match self.expect("')' closing FILTER")? {
+                        Token::RParen => {}
+                        other => {
+                            return Err(
+                                self.err(format!("expected ')' closing FILTER, found {other:?}"))
+                            )
+                        }
+                    }
+                    let node = out.push_node(PatternNode::Filter { expr });
+                    chain.push(out, node);
+                    self.skip_optional_dot()?;
+                    run_start = out.triples.len();
+                }
+                Some(Token::LBrace) => {
+                    flush_run!();
+                    // GroupOrUnion: `{...}` optionally followed by one or
+                    // more `UNION {...}`.
+                    self.next_token()?;
+                    let inner = self.parse_group_body(out)?;
+                    let group = out.push_node(PatternNode::Group { first: inner });
+                    let mut branches = ChainBuilder::new();
+                    branches.push(out, group);
+                    let mut n_branches = 1u32;
+                    while let Some(Token::Word(w)) = self.peek()? {
+                        if !w.eq_ignore_ascii_case("UNION") {
+                            break;
+                        }
+                        self.next_token()?;
+                        match self.expect("'{' after UNION")? {
+                            Token::LBrace => {}
+                            other => {
+                                return Err(
+                                    self.err(format!("expected '{{' after UNION, found {other:?}"))
+                                )
+                            }
+                        }
+                        let inner = self.parse_group_body(out)?;
+                        let b = out.push_node(PatternNode::Group { first: inner });
+                        branches.push(out, b);
+                        n_branches += 1;
+                    }
+                    let node = if n_branches == 1 {
+                        group
+                    } else {
+                        out.push_node(PatternNode::Union {
+                            first: branches.first(),
+                        })
+                    };
+                    chain.push(out, node);
+                    self.skip_optional_dot()?;
+                    run_start = out.triples.len();
+                }
                 Some(Token::Word(w))
-                    if ["OPTIONAL", "UNION", "FILTER", "GRAPH", "SERVICE", "MINUS"]
+                    if ["GRAPH", "SERVICE", "MINUS"]
                         .iter()
                         .any(|kw| w.eq_ignore_ascii_case(kw)) =>
                 {
                     return Err(self.err(format!(
-                        "{w} is not supported by the BGP rewriter (see ROADMAP: query-level rewriting)"
+                        "{w} is not supported by the rewriter (see ROADMAP: federation/SERVICE)"
                     )));
                 }
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("UNION") => {
+                    return Err(self.err("UNION must follow a '{...}' group"));
+                }
                 Some(_) => {
-                    self.parse_triple_block(&mut patterns)?;
+                    self.parse_triple_block(&mut out.triples)?;
                     // Optional '.' between blocks.
                     if self.peek()? == Some(Token::Dot) {
                         self.next_token()?;
@@ -441,7 +747,71 @@ impl<'a, 'i> Parser<'a, 'i> {
                 None => return Err(self.err("unexpected end of input inside group pattern")),
             }
         }
-        Ok(Bgp::new(patterns))
+        Ok(chain.first())
+    }
+
+    /// Consume one optional `.` (legal after any group-pattern element).
+    fn skip_optional_dot(&mut self) -> Result<(), ParseError> {
+        if self.peek()? == Some(Token::Dot) {
+            self.next_token()?;
+        }
+        Ok(())
+    }
+
+    // ---- FILTER expressions -------------------------------------------
+    //
+    // Precedence climbing: `||` < `&&` < comparison < unary `!` / primary.
+    // Expression nodes are appended to `out.exprs`; functions return the
+    // node index.
+
+    fn parse_expr(&mut self, out: &mut GroupPattern) -> Result<u32, ParseError> {
+        let mut lhs = self.parse_expr_and(out)?;
+        while self.peek()? == Some(Token::OrOr) {
+            self.next_token()?;
+            let rhs = self.parse_expr_and(out)?;
+            lhs = out.push_expr(ExprNode::Or(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_expr_and(&mut self, out: &mut GroupPattern) -> Result<u32, ParseError> {
+        let mut lhs = self.parse_expr_rel(out)?;
+        while self.peek()? == Some(Token::AndAnd) {
+            self.next_token()?;
+            let rhs = self.parse_expr_rel(out)?;
+            lhs = out.push_expr(ExprNode::And(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_expr_rel(&mut self, out: &mut GroupPattern) -> Result<u32, ParseError> {
+        let lhs = self.parse_expr_primary(out)?;
+        if let Some(Token::Cmp(op)) = self.peek()? {
+            self.next_token()?;
+            let rhs = self.parse_expr_primary(out)?;
+            return Ok(out.push_expr(ExprNode::Cmp(op, lhs, rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_expr_primary(&mut self, out: &mut GroupPattern) -> Result<u32, ParseError> {
+        match self.expect("expression")? {
+            Token::LParen => {
+                let e = self.parse_expr(out)?;
+                match self.expect("')'")? {
+                    Token::RParen => Ok(e),
+                    other => Err(self.err(format!("expected ')', found {other:?}"))),
+                }
+            }
+            Token::Bang => {
+                let c = self.parse_expr_primary(out)?;
+                Ok(out.push_expr(ExprNode::Not(c)))
+            }
+            tok => {
+                let t = self.parse_term(tok, "expression")?;
+                Ok(out.push_expr(ExprNode::Term(t)))
+            }
+        }
     }
 
     fn parse_triple_block(&mut self, patterns: &mut Vec<TriplePattern>) -> Result<(), ParseError> {
@@ -476,15 +846,16 @@ impl<'a, 'i> Parser<'a, 'i> {
             Token::Word(w) if w.eq_ignore_ascii_case("WHERE") => {}
             // Bare `{ ... }` without the WHERE keyword is legal SPARQL.
             Token::LBrace => {
-                self.peeked = Some(Token::LBrace);
+                self.peeked = Some((Token::LBrace, self.err_off));
             }
             other => return Err(self.err(format!("expected WHERE, found {other:?}"))),
         }
-        let bgp = self.parse_bgp()?;
+        let mut pattern = GroupPattern::new();
+        pattern.root = self.parse_group(&mut pattern)?;
         if let Some(tok) = self.next_token()? {
             return Err(self.err(format!("trailing input after query: {tok:?}")));
         }
-        Ok(Query { select, bgp })
+        Ok(Query { select, pattern })
     }
 }
 
@@ -494,7 +865,9 @@ pub fn parse_query(input: &str, interner: &mut Interner) -> Result<Query, ParseE
 }
 
 /// Parse a bare BGP — a brace-less triple-pattern list, with an optional
-/// PREFIX prologue and optional surrounding `{ }`. Used for rule templates.
+/// PREFIX prologue and optional surrounding `{ }`. Used for rule templates,
+/// which are flat by design: OPTIONAL/UNION/FILTER in a template is a parse
+/// error here.
 pub fn parse_bgp(input: &str, interner: &mut Interner) -> Result<Bgp, ParseError> {
     Parser::new(input, interner).parse_bgp_entry()
 }
@@ -502,14 +875,15 @@ pub fn parse_bgp(input: &str, interner: &mut Interner) -> Result<Bgp, ParseError
 impl Parser<'_, '_> {
     fn parse_bgp_entry(mut self) -> Result<Bgp, ParseError> {
         self.parse_prologue()?;
+        let mut patterns = Vec::new();
         if self.peek()? == Some(Token::LBrace) {
-            let bgp = self.parse_bgp()?;
+            self.next_token()?;
+            self.parse_flat_bgp_body(&mut patterns)?;
             if let Some(tok) = self.next_token()? {
                 return Err(self.err(format!("trailing input after '}}': {tok:?}")));
             }
-            return Ok(bgp);
+            return Ok(Bgp::new(patterns));
         }
-        let mut patterns = Vec::new();
         while self.peek()?.is_some() {
             self.parse_triple_block(&mut patterns)?;
             if self.peek()? == Some(Token::Dot) {
@@ -517,5 +891,274 @@ impl Parser<'_, '_> {
             }
         }
         Ok(Bgp::new(patterns))
+    }
+
+    /// `{ triples }` with no group-pattern constructs — the rule-template
+    /// fragment.
+    fn parse_flat_bgp_body(&mut self, patterns: &mut Vec<TriplePattern>) -> Result<(), ParseError> {
+        loop {
+            match self.peek()? {
+                Some(Token::RBrace) => {
+                    self.next_token()?;
+                    return Ok(());
+                }
+                Some(Token::Word(w))
+                    if ["OPTIONAL", "UNION", "FILTER", "GRAPH", "SERVICE", "MINUS"]
+                        .iter()
+                        .any(|kw| w.eq_ignore_ascii_case(kw)) =>
+                {
+                    return Err(self.err(format!("{w} is not allowed in a rule template BGP")));
+                }
+                Some(_) => {
+                    self.parse_triple_block(patterns)?;
+                    if self.peek()? == Some(Token::Dot) {
+                        self.next_token()?;
+                    }
+                }
+                None => return Err(self.err("unexpected end of input inside group pattern")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(q: &str) -> (Query, Interner) {
+        let mut it = Interner::new();
+        let query = parse_query(q, &mut it).unwrap_or_else(|e| panic!("parse {q:?}: {e}"));
+        (query, it)
+    }
+
+    #[test]
+    fn parses_nested_group_shapes() {
+        let (q, _it) = parse(
+            "SELECT * WHERE { ?s <http://p> ?o . OPTIONAL { ?s <http://q> ?r } \
+             { ?a <http://b> ?c } UNION { ?d <http://e> ?f } UNION { ?g <http://h> ?i } \
+             FILTER(?o > 3) }",
+        );
+        let kinds: Vec<_> = q
+            .pattern
+            .root_children()
+            .map(|c| q.pattern.nodes[c as usize])
+            .collect();
+        assert!(matches!(kinds[0], PatternNode::Triples { len: 1, .. }));
+        assert!(matches!(kinds[1], PatternNode::Optional { .. }));
+        assert!(matches!(kinds[2], PatternNode::Union { .. }));
+        assert!(matches!(kinds[3], PatternNode::Filter { .. }));
+        assert_eq!(kinds.len(), 4);
+        // Union has three branches.
+        let PatternNode::Union { first } = kinds[2] else {
+            unreachable!()
+        };
+        assert_eq!(q.pattern.children_from(first).count(), 3);
+    }
+
+    #[test]
+    fn single_braced_group_is_not_a_union() {
+        let (q, _) = parse("SELECT * WHERE { { ?s <http://p> ?o } }");
+        let kinds: Vec<_> = q
+            .pattern
+            .root_children()
+            .map(|c| q.pattern.nodes[c as usize])
+            .collect();
+        assert_eq!(kinds.len(), 1);
+        assert!(matches!(kinds[0], PatternNode::Group { .. }));
+    }
+
+    #[test]
+    fn numeric_and_boolean_literals_parse_as_typed_literals() {
+        let (q, it) = parse(
+            "SELECT * WHERE { ?s <http://p> 42 . ?s <http://q> 3.14 . \
+             ?s <http://r> true . ?s <http://t> -7 }",
+        );
+        let o = |n: usize| -> String {
+            let t = q.pattern.triples[n].o;
+            it.resolve(t.symbol()).to_string()
+        };
+        assert_eq!(o(0), format!("\"42\"^^<{XSD_INTEGER}>"));
+        assert_eq!(o(1), format!("\"3.14\"^^<{XSD_DECIMAL}>"));
+        assert_eq!(o(2), format!("\"true\"^^<{XSD_BOOLEAN}>"));
+        assert_eq!(o(3), format!("\"-7\"^^<{XSD_INTEGER}>"));
+        // Bare and quoted spellings share one symbol.
+        let (q2, _) = {
+            let mut it2 = Interner::new();
+            let a = parse_query("SELECT * WHERE { ?s <http://p> 42 }", &mut it2).unwrap();
+            let b = parse_query(
+                &format!("SELECT * WHERE {{ ?s <http://p> \"42\"^^<{XSD_INTEGER}> }}"),
+                &mut it2,
+            )
+            .unwrap();
+            assert_eq!(a.pattern.triples[0].o, b.pattern.triples[0].o);
+            (a, it2)
+        };
+        assert!(q2.pattern.is_flat());
+    }
+
+    #[test]
+    fn integer_then_dot_terminates_triple_block() {
+        // `3 .` and `3.` both mean integer-3 then end-of-block — the dot is
+        // part of the literal only when a digit follows.
+        for q in [
+            "SELECT * WHERE { ?s <http://p> 3 . ?s <http://q> ?o }",
+            "SELECT * WHERE { ?s <http://p> 3. ?s <http://q> ?o }",
+        ] {
+            let (parsed, it) = parse(q);
+            assert_eq!(parsed.pattern.triples.len(), 2, "{q}");
+            assert_eq!(
+                it.resolve(parsed.pattern.triples[0].o.symbol()),
+                format!("\"3\"^^<{XSD_INTEGER}>")
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_numeric_is_rejected() {
+        let mut it = Interner::new();
+        for q in [
+            "SELECT * WHERE { ?s <http://p> 3abc }",
+            "SELECT * WHERE { ?s <http://p> 1e5 }",
+        ] {
+            assert!(parse_query(q, &mut it).is_err(), "accepted {q}");
+        }
+    }
+
+    #[test]
+    fn bare_literals_only_legal_in_object_and_expression_position() {
+        let mut it = Interner::new();
+        // A literal can never be the subject or the verb of a triple.
+        for q in [
+            "SELECT * WHERE { ?s 42 ?o }",
+            "SELECT * WHERE { 42 <http://p> ?o }",
+            "SELECT * WHERE { ?s true ?o }",
+            "SELECT * WHERE { true <http://p> ?o }",
+        ] {
+            assert!(parse_query(q, &mut it).is_err(), "accepted {q}");
+        }
+    }
+
+    #[test]
+    fn iri_bodies_starting_with_equals_are_still_iris() {
+        // `<=` must only lex as the Le operator when no `>`-terminated
+        // IRIREF follows: `<=x>` is the (odd but legal) IRI "=x".
+        let (q, it) = parse("SELECT * WHERE { ?s ?p <=x> FILTER(?s <= 3) }");
+        let o = q.pattern.triples[0].o;
+        assert!(o.is_iri());
+        assert_eq!(it.resolve(o.symbol()), "=x");
+        let filter = q
+            .pattern
+            .root_children()
+            .find_map(|c| match q.pattern.nodes[c as usize] {
+                PatternNode::Filter { expr } => Some(expr),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(
+            q.pattern.exprs[filter as usize],
+            ExprNode::Cmp(CmpOp::Le, _, _)
+        ));
+    }
+
+    #[test]
+    fn language_tags_are_case_normalized() {
+        let mut it = Interner::new();
+        let a = parse_query("SELECT * WHERE { ?s <http://p> \"x\"@EN }", &mut it).unwrap();
+        let b = parse_query("SELECT * WHERE { ?s <http://p> \"x\"@en }", &mut it).unwrap();
+        let c = parse_query("SELECT * WHERE { ?s <http://p> \"x\"@en-GB }", &mut it).unwrap();
+        assert_eq!(a.pattern.triples[0].o, b.pattern.triples[0].o);
+        assert_eq!(it.resolve(a.pattern.triples[0].o.symbol()), "\"x\"@en");
+        assert_eq!(it.resolve(c.pattern.triples[0].o.symbol()), "\"x\"@en-gb");
+    }
+
+    #[test]
+    fn filter_expression_precedence() {
+        // `a || b && c` parses as `a || (b && c)`; comparison binds tighter.
+        let (q, _) = parse("SELECT * WHERE { ?s <http://p> ?o FILTER(?a = 1 || ?b < 2 && ?c) }");
+        let filter = q
+            .pattern
+            .root_children()
+            .find_map(|c| match q.pattern.nodes[c as usize] {
+                PatternNode::Filter { expr } => Some(expr),
+                _ => None,
+            })
+            .expect("filter node");
+        let ExprNode::Or(l, r) = q.pattern.exprs[filter as usize] else {
+            panic!(
+                "expected Or at root: {:?}",
+                q.pattern.exprs[filter as usize]
+            );
+        };
+        assert!(matches!(
+            q.pattern.exprs[l as usize],
+            ExprNode::Cmp(CmpOp::Eq, _, _)
+        ));
+        assert!(matches!(q.pattern.exprs[r as usize], ExprNode::And(_, _)));
+    }
+
+    #[test]
+    fn filter_lt_vs_iri_disambiguation() {
+        let (q, it) = parse("SELECT * WHERE { ?s <http://p> ?o FILTER(?o < <http://x> && ?o<3) }");
+        let filter = q
+            .pattern
+            .root_children()
+            .find_map(|c| match q.pattern.nodes[c as usize] {
+                PatternNode::Filter { expr } => Some(expr),
+                _ => None,
+            })
+            .unwrap();
+        let ExprNode::And(l, r) = q.pattern.exprs[filter as usize] else {
+            panic!("expected And");
+        };
+        let ExprNode::Cmp(CmpOp::Lt, _, iri) = q.pattern.exprs[l as usize] else {
+            panic!("expected Lt");
+        };
+        let ExprNode::Term(t) = q.pattern.exprs[iri as usize] else {
+            panic!()
+        };
+        assert!(t.is_iri());
+        assert_eq!(it.resolve(t.symbol()), "http://x");
+        assert!(matches!(
+            q.pattern.exprs[r as usize],
+            ExprNode::Cmp(CmpOp::Lt, _, _)
+        ));
+    }
+
+    #[test]
+    fn error_offset_points_at_offending_token() {
+        let mut it = Interner::new();
+        // Wrong keyword after the projection: offset must be the start of
+        // `FROM`, not the cursor position after peeking past it.
+        let input = "SELECT ?x FROM <http://g> WHERE { ?x <http://p> ?o }";
+        let err = parse_query(input, &mut it).unwrap_err();
+        assert_eq!(err.offset, input.find("FROM").unwrap(), "{err}");
+
+        // Peeked-keyword error: offset of GRAPH itself.
+        let input = "SELECT * WHERE { ?s <http://p> ?o . GRAPH <http://g> { ?a <http://b> ?c } }";
+        let err = parse_query(input, &mut it).unwrap_err();
+        assert_eq!(err.offset, input.find("GRAPH").unwrap(), "{err}");
+
+        // Bad term mid-triple: offset of the offending token, not the
+        // token after it.
+        let input = "SELECT * WHERE { ?s ?p ; ?o }";
+        let err = parse_query(input, &mut it).unwrap_err();
+        assert_eq!(err.offset, input.find(';').unwrap(), "{err}");
+    }
+
+    #[test]
+    fn empty_group_and_nested_empty_groups_parse() {
+        let (q, _) = parse("SELECT * WHERE { }");
+        assert_eq!(q.pattern.root_children().count(), 0);
+        let (q, _) = parse("SELECT * WHERE { { } OPTIONAL { } }");
+        assert_eq!(q.pattern.root_children().count(), 2);
+    }
+
+    #[test]
+    fn rule_templates_stay_flat() {
+        let mut it = Interner::new();
+        assert!(parse_bgp("?s <http://p> ?o . ?o <http://q> ?r", &mut it).is_ok());
+        assert!(parse_bgp("{ ?s <http://p> ?o }", &mut it).is_ok());
+        assert!(parse_bgp("{ OPTIONAL { ?s <http://p> ?o } }", &mut it).is_err());
+        assert!(parse_bgp("{ ?s <http://p> ?o FILTER(?o > 3) }", &mut it).is_err());
     }
 }

@@ -1,5 +1,13 @@
-//! Triple patterns, basic graph patterns, and queries — plus `Display`
-//! rendering back to valid SPARQL text.
+//! Triple patterns, basic graph patterns, group graph patterns, and queries
+//! — plus `Display` rendering back to valid SPARQL text.
+//!
+//! A query's `WHERE` clause is a [`GroupPattern`]: a *flattened,
+//! index-linked* tree of [`PatternNode`]s covering basic graph patterns,
+//! nested groups, `OPTIONAL`, `UNION`, and `FILTER`. There is no per-node
+//! boxing: nodes, sibling links, triple patterns, and filter-expression
+//! nodes live in four flat `Vec`s of `Copy` values, so a
+//! [`crate::rewriter::RewriteScratch`] can hold a whole rewritten tree in
+//! reusable buffers and steady-state rewriting stays allocation-free.
 //!
 //! Parsed terms are interner symbols, so rendering needs a resolver
 //! implementing [`Resolve`] — either the build-phase
@@ -50,8 +58,9 @@ impl TriplePattern {
     /// same `Fresh` counter may render under different `g{n}` names in
     /// different triples of one BGP, and may collide with `g`-named
     /// variables that appear only in *other* triples. To render part of a
-    /// rewritten BGP with consistent, capture-free existential names, use
-    /// [`Bgp::display`] / [`Query::display`] on the whole value instead.
+    /// rewritten pattern with consistent, capture-free existential names,
+    /// use [`Bgp::display`] / [`GroupPattern::display`] /
+    /// [`Query::display`] on the whole value instead.
     pub fn display<'a, R: Resolve>(&'a self, resolver: &'a R) -> DisplayTriple<'a, R> {
         let fresh_base = fresh_render_base(self.terms().into_iter(), resolver);
         DisplayTriple {
@@ -62,7 +71,9 @@ impl TriplePattern {
     }
 }
 
-/// A basic graph pattern: a conjunction of triple patterns.
+/// A basic graph pattern: a conjunction of triple patterns. Used for
+/// alignment-rule templates (which are flat by construction) and as the
+/// seed for [`GroupPattern::from_bgp`].
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Bgp {
     pub patterns: Vec<TriplePattern>,
@@ -92,6 +103,342 @@ impl Bgp {
     }
 }
 
+/// Sentinel "no node" index for [`GroupPattern`] links.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// Comparison operators of FILTER expressions.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One node of a flattened FILTER expression tree. Children are indices
+/// into the owning [`GroupPattern::exprs`] buffer, so the whole tree is
+/// `Copy` values in one flat `Vec`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ExprNode {
+    /// A variable, IRI, or literal operand.
+    Term(Term),
+    /// `lhs op rhs` comparison.
+    Cmp(CmpOp, u32, u32),
+    /// `lhs && rhs`.
+    And(u32, u32),
+    /// `lhs || rhs`.
+    Or(u32, u32),
+    /// `!child`.
+    Not(u32),
+}
+
+/// One node of a flattened group-graph-pattern tree. Child lists are
+/// singly linked through [`GroupPattern::next`]; triple runs are ranges
+/// into [`GroupPattern::triples`]; filter expressions are roots into
+/// [`GroupPattern::exprs`]. Every variant is a few integers — no boxing.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PatternNode {
+    /// A run of triple patterns: `triples[start .. start + len]`.
+    Triples { start: u32, len: u32 },
+    /// `{ ... }` — children chained from `first` (or [`NO_NODE`] if empty).
+    Group { first: u32 },
+    /// `OPTIONAL { ... }` — the inner group's children chained from `first`.
+    Optional { first: u32 },
+    /// `{...} UNION {...} [UNION {...}]*` — two or more branches chained
+    /// from `first`; every branch is a [`PatternNode::Group`].
+    Union { first: u32 },
+    /// `FILTER( expr )` — `expr` is the root index into `exprs`.
+    Filter { expr: u32 },
+}
+
+/// A group graph pattern as a flattened, index-linked tree.
+///
+/// # Representation
+///
+/// * `nodes[i]` is a tree node; `next[i]` is its next sibling (or
+///   [`NO_NODE`]). The two vectors always have equal length.
+/// * `root` indexes the top-level [`PatternNode::Group`]; [`NO_NODE`]
+///   denotes the empty group `{ }` (the state of a cleared scratch).
+/// * Triple patterns and expression nodes are pooled in `triples` /
+///   `exprs`; nodes reference them by range / index. A [`PatternNode::
+///   Triples`] run is always a contiguous range, and `triples` holds the
+///   runs in rendering order, so `triples` doubles as "all triple patterns
+///   of the query, in order".
+///
+/// Equality is **structural**: two patterns are equal when their trees
+/// (walked from `root`) match node for node, regardless of how the nodes
+/// are laid out in the buffers. Note that structure distinguishes two
+/// adjacent [`PatternNode::Triples`] runs from one merged run even though
+/// they denote the same conjunction; the parser and the rewriter both emit
+/// maximal runs, so values produced by them compare as expected.
+#[derive(Clone, Debug)]
+pub struct GroupPattern {
+    pub nodes: Vec<PatternNode>,
+    /// `next[i]` = index of the next sibling of `nodes[i]`, or [`NO_NODE`].
+    pub next: Vec<u32>,
+    pub triples: Vec<TriplePattern>,
+    pub exprs: Vec<ExprNode>,
+    /// Index of the root [`PatternNode::Group`], or [`NO_NODE`] when empty.
+    pub root: u32,
+}
+
+impl Default for GroupPattern {
+    fn default() -> GroupPattern {
+        GroupPattern {
+            nodes: Vec::new(),
+            next: Vec::new(),
+            triples: Vec::new(),
+            exprs: Vec::new(),
+            root: NO_NODE,
+        }
+    }
+}
+
+impl GroupPattern {
+    pub fn new() -> GroupPattern {
+        GroupPattern::default()
+    }
+
+    /// Wrap a flat BGP as a group pattern: one triples run under the root
+    /// group (or an empty root group for an empty BGP).
+    pub fn from_bgp(bgp: &Bgp) -> GroupPattern {
+        let mut p = GroupPattern::new();
+        let first = if bgp.patterns.is_empty() {
+            NO_NODE
+        } else {
+            p.triples.extend_from_slice(&bgp.patterns);
+            p.push_node(PatternNode::Triples {
+                start: 0,
+                len: bgp.patterns.len() as u32,
+            })
+        };
+        p.root = p.push_node(PatternNode::Group { first });
+        p
+    }
+
+    /// Append a node with no sibling yet; returns its index. Link it into a
+    /// child chain afterwards via [`ChainBuilder`] (or by writing `next`).
+    #[inline]
+    pub fn push_node(&mut self, node: PatternNode) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.next.push(NO_NODE);
+        idx
+    }
+
+    /// Append an expression node; returns its index.
+    #[inline]
+    pub fn push_expr(&mut self, node: ExprNode) -> u32 {
+        let idx = self.exprs.len() as u32;
+        self.exprs.push(node);
+        idx
+    }
+
+    /// Clear all buffers (capacity retained) back to the empty group.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.next.clear();
+        self.triples.clear();
+        self.exprs.clear();
+        self.root = NO_NODE;
+    }
+
+    /// Iterate a sibling chain starting at `first`.
+    #[inline]
+    pub fn children_from(&self, first: u32) -> Children<'_> {
+        Children {
+            next: &self.next,
+            cur: first,
+        }
+    }
+
+    /// Head of the root group's child chain ([`NO_NODE`] when empty).
+    #[inline]
+    fn root_first(&self) -> u32 {
+        match self.root {
+            NO_NODE => NO_NODE,
+            r => match self.nodes[r as usize] {
+                PatternNode::Group { first } => first,
+                _ => unreachable!("root must be a Group node"),
+            },
+        }
+    }
+
+    /// The root group's child chain (empty for an empty pattern).
+    #[inline]
+    pub fn root_children(&self) -> Children<'_> {
+        self.children_from(self.root_first())
+    }
+
+    /// The triple patterns of the run node at `idx`.
+    #[inline]
+    pub fn run(&self, idx: u32) -> &[TriplePattern] {
+        match self.nodes[idx as usize] {
+            PatternNode::Triples { start, len } => {
+                &self.triples[start as usize..(start + len) as usize]
+            }
+            _ => &[],
+        }
+    }
+
+    /// True when the pattern is a single flat BGP: root-group children are
+    /// triples runs only (the pre-group-pattern query shape).
+    pub fn is_flat(&self) -> bool {
+        self.root_children()
+            .all(|c| matches!(self.nodes[c as usize], PatternNode::Triples { .. }))
+    }
+
+    /// Every [`Term`] the pattern mentions: triple terms plus FILTER
+    /// expression operands.
+    pub fn terms(&self) -> impl Iterator<Item = Term> + '_ {
+        self.triples
+            .iter()
+            .flat_map(|tp| tp.terms())
+            .chain(self.exprs.iter().filter_map(|e| match e {
+                ExprNode::Term(t) => Some(*t),
+                _ => None,
+            }))
+    }
+
+    /// Render as `{ ... }` SPARQL text. Fresh-term naming is computed from
+    /// this pattern's terms only; see [`Query::display`] for the caveat
+    /// about projection variables.
+    pub fn display<'a, R: Resolve>(&'a self, resolver: &'a R) -> DisplayPattern<'a, R> {
+        let fresh_base = fresh_render_base(self.terms(), resolver);
+        DisplayPattern {
+            pattern: self,
+            resolver,
+            fresh_base,
+        }
+    }
+
+    fn node_eq(&self, a: u32, other: &GroupPattern, b: u32) -> bool {
+        match (self.nodes[a as usize], other.nodes[b as usize]) {
+            (PatternNode::Triples { .. }, PatternNode::Triples { .. }) => {
+                self.run(a) == other.run(b)
+            }
+            (PatternNode::Group { first: fa }, PatternNode::Group { first: fb })
+            | (PatternNode::Optional { first: fa }, PatternNode::Optional { first: fb })
+            | (PatternNode::Union { first: fa }, PatternNode::Union { first: fb }) => {
+                self.chain_eq(fa, other, fb)
+            }
+            (PatternNode::Filter { expr: ea }, PatternNode::Filter { expr: eb }) => {
+                self.expr_eq(ea, other, eb)
+            }
+            _ => false,
+        }
+    }
+
+    fn chain_eq(&self, a_first: u32, other: &GroupPattern, b_first: u32) -> bool {
+        let mut a_it = self.children_from(a_first);
+        let mut b_it = other.children_from(b_first);
+        loop {
+            match (a_it.next(), b_it.next()) {
+                (None, None) => return true,
+                (Some(a), Some(b)) if self.node_eq(a, other, b) => {}
+                _ => return false,
+            }
+        }
+    }
+
+    fn expr_eq(&self, a: u32, other: &GroupPattern, b: u32) -> bool {
+        match (self.exprs[a as usize], other.exprs[b as usize]) {
+            (ExprNode::Term(x), ExprNode::Term(y)) => x == y,
+            (ExprNode::Cmp(opa, la, ra), ExprNode::Cmp(opb, lb, rb)) => {
+                opa == opb && self.expr_eq(la, other, lb) && self.expr_eq(ra, other, rb)
+            }
+            (ExprNode::And(la, ra), ExprNode::And(lb, rb))
+            | (ExprNode::Or(la, ra), ExprNode::Or(lb, rb)) => {
+                self.expr_eq(la, other, lb) && self.expr_eq(ra, other, rb)
+            }
+            (ExprNode::Not(ca), ExprNode::Not(cb)) => self.expr_eq(ca, other, cb),
+            _ => false,
+        }
+    }
+}
+
+/// Structural equality: trees walked from the roots must match; buffer
+/// layout is irrelevant.
+impl PartialEq for GroupPattern {
+    fn eq(&self, other: &GroupPattern) -> bool {
+        self.chain_eq(self.root_first(), other, other.root_first())
+    }
+}
+
+impl Eq for GroupPattern {}
+
+/// Iterator over a sibling chain of a [`GroupPattern`].
+pub struct Children<'a> {
+    next: &'a [u32],
+    cur: u32,
+}
+
+impl Iterator for Children<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.cur == NO_NODE {
+            return None;
+        }
+        let idx = self.cur;
+        self.cur = self.next[idx as usize];
+        Some(idx)
+    }
+}
+
+/// Incrementally links nodes into a sibling chain.
+#[derive(Copy, Clone)]
+pub struct ChainBuilder {
+    first: u32,
+    last: u32,
+}
+
+impl ChainBuilder {
+    pub fn new() -> ChainBuilder {
+        ChainBuilder {
+            first: NO_NODE,
+            last: NO_NODE,
+        }
+    }
+
+    /// Append `idx` (a node already pushed into `p`) to the chain.
+    pub fn push(&mut self, p: &mut GroupPattern, idx: u32) {
+        if self.first == NO_NODE {
+            self.first = idx;
+        } else {
+            p.next[self.last as usize] = idx;
+        }
+        self.last = idx;
+    }
+
+    /// Head of the chain ([`NO_NODE`] if nothing was pushed).
+    pub fn first(&self) -> u32 {
+        self.first
+    }
+}
+
+impl Default for ChainBuilder {
+    fn default() -> ChainBuilder {
+        ChainBuilder::new()
+    }
+}
+
 /// Projection of a SELECT query.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SelectList {
@@ -101,12 +448,11 @@ pub enum SelectList {
     Vars(Vec<Term>),
 }
 
-/// A parsed SELECT query restricted to the fragment the rewriter handles:
-/// projection plus one basic graph pattern.
+/// A parsed SELECT query: projection plus one group graph pattern.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Query {
     pub select: SelectList,
-    pub bgp: Bgp,
+    pub pattern: GroupPattern,
 }
 
 impl Query {
@@ -116,11 +462,7 @@ impl Query {
             SelectList::Vars(vars) => vars,
         };
         let fresh_base = fresh_render_base(
-            self.bgp
-                .patterns
-                .iter()
-                .flat_map(|tp| tp.terms())
-                .chain(select_vars.iter().copied()),
+            self.pattern.terms().chain(select_vars.iter().copied()),
             resolver,
         );
         DisplayQuery {
@@ -262,6 +604,138 @@ fn write_bgp<R: Resolve>(
     f.write_str("}")
 }
 
+fn write_indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        f.write_str("  ")?;
+    }
+    Ok(())
+}
+
+/// Render a filter expression. Non-leaf operands are parenthesized
+/// unconditionally, which keeps rendering deterministic and makes
+/// `render → parse → render` a fixpoint (parentheses do not create nodes).
+fn write_expr<R: Resolve>(
+    f: &mut fmt::Formatter<'_>,
+    p: &GroupPattern,
+    e: u32,
+    resolver: &R,
+    fresh_base: &str,
+) -> fmt::Result {
+    let operand = |f: &mut fmt::Formatter<'_>, c: u32| -> fmt::Result {
+        if let ExprNode::Term(t) = p.exprs[c as usize] {
+            write_term(f, t, resolver, fresh_base)
+        } else {
+            f.write_str("(")?;
+            write_expr(f, p, c, resolver, fresh_base)?;
+            f.write_str(")")
+        }
+    };
+    match p.exprs[e as usize] {
+        ExprNode::Term(t) => write_term(f, t, resolver, fresh_base),
+        ExprNode::Cmp(op, l, r) => {
+            operand(f, l)?;
+            write!(f, " {} ", op.as_str())?;
+            operand(f, r)
+        }
+        ExprNode::And(l, r) => {
+            operand(f, l)?;
+            f.write_str(" && ")?;
+            operand(f, r)
+        }
+        ExprNode::Or(l, r) => {
+            operand(f, l)?;
+            f.write_str(" || ")?;
+            operand(f, r)
+        }
+        ExprNode::Not(c) => {
+            f.write_str("!")?;
+            operand(f, c)
+        }
+    }
+}
+
+/// Render one pattern node (and its subtree) at `depth`, each line
+/// indented and newline-terminated.
+fn write_node<R: Resolve>(
+    f: &mut fmt::Formatter<'_>,
+    p: &GroupPattern,
+    idx: u32,
+    resolver: &R,
+    fresh_base: &str,
+    depth: usize,
+) -> fmt::Result {
+    match p.nodes[idx as usize] {
+        PatternNode::Triples { .. } => {
+            for tp in p.run(idx) {
+                write_indent(f, depth)?;
+                write_triple(f, tp, resolver, fresh_base)?;
+                f.write_str("\n")?;
+            }
+            Ok(())
+        }
+        PatternNode::Group { first } => {
+            write_indent(f, depth)?;
+            f.write_str("{\n")?;
+            for c in p.children_from(first) {
+                write_node(f, p, c, resolver, fresh_base, depth + 1)?;
+            }
+            write_indent(f, depth)?;
+            f.write_str("}\n")
+        }
+        PatternNode::Optional { first } => {
+            write_indent(f, depth)?;
+            f.write_str("OPTIONAL {\n")?;
+            for c in p.children_from(first) {
+                write_node(f, p, c, resolver, fresh_base, depth + 1)?;
+            }
+            write_indent(f, depth)?;
+            f.write_str("}\n")
+        }
+        PatternNode::Union { first } => {
+            for (i, branch) in p.children_from(first).enumerate() {
+                if i > 0 {
+                    write_indent(f, depth)?;
+                    f.write_str("UNION\n")?;
+                }
+                write_node(f, p, branch, resolver, fresh_base, depth)?;
+            }
+            Ok(())
+        }
+        PatternNode::Filter { expr } => {
+            write_indent(f, depth)?;
+            f.write_str("FILTER(")?;
+            write_expr(f, p, expr, resolver, fresh_base)?;
+            f.write_str(")\n")
+        }
+    }
+}
+
+/// Render the whole pattern as `{ ... }` (no trailing newline).
+fn write_pattern<R: Resolve>(
+    f: &mut fmt::Formatter<'_>,
+    p: &GroupPattern,
+    resolver: &R,
+    fresh_base: &str,
+) -> fmt::Result {
+    f.write_str("{\n")?;
+    for c in p.root_children() {
+        write_node(f, p, c, resolver, fresh_base, 1)?;
+    }
+    f.write_str("}")
+}
+
+pub struct DisplayPattern<'a, R: Resolve> {
+    pattern: &'a GroupPattern,
+    resolver: &'a R,
+    fresh_base: String,
+}
+
+impl<R: Resolve> fmt::Display for DisplayPattern<'_, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_pattern(f, self.pattern, self.resolver, &self.fresh_base)
+    }
+}
+
 pub struct DisplayQuery<'a, R: Resolve> {
     query: &'a Query,
     resolver: &'a R,
@@ -281,7 +755,7 @@ impl<R: Resolve> fmt::Display for DisplayQuery<'_, R> {
             }
         }
         f.write_str(" WHERE ")?;
-        write_bgp(f, &self.query.bgp, self.resolver, &self.fresh_base)
+        write_pattern(f, &self.query.pattern, self.resolver, &self.fresh_base)
     }
 }
 
@@ -295,6 +769,8 @@ mod tests {
         assert_eq!(std::mem::size_of::<TriplePattern>(), 12);
         fn assert_copy<T: Copy>() {}
         assert_copy::<TriplePattern>();
+        assert_copy::<PatternNode>();
+        assert_copy::<ExprNode>();
     }
 
     #[test]
@@ -442,5 +918,118 @@ mod tests {
             tp.display(&frozen).to_string(),
             "?s <http://ex.org/p> ?g2 ."
         );
+    }
+
+    fn sample_triple(i: &mut Interner, n: usize) -> TriplePattern {
+        TriplePattern::new(
+            Term::var(i.intern(&format!("s{n}"))),
+            Term::iri(i.intern(&format!("http://ex.org/p{n}"))),
+            Term::var(i.intern(&format!("o{n}"))),
+        )
+    }
+
+    /// Build `{ t0 . OPTIONAL { t1 } { t2 } UNION { t3 } FILTER(?s0 < lit) }`.
+    fn sample_group(i: &mut Interner) -> GroupPattern {
+        let mut p = GroupPattern::new();
+        let mut chain = ChainBuilder::new();
+        let t = [
+            sample_triple(i, 0),
+            sample_triple(i, 1),
+            sample_triple(i, 2),
+            sample_triple(i, 3),
+        ];
+        p.triples.push(t[0]);
+        let run0 = p.push_node(PatternNode::Triples { start: 0, len: 1 });
+        chain.push(&mut p, run0);
+
+        p.triples.push(t[1]);
+        let run1 = p.push_node(PatternNode::Triples { start: 1, len: 1 });
+        let opt = p.push_node(PatternNode::Optional { first: run1 });
+        chain.push(&mut p, opt);
+
+        let mut branches = ChainBuilder::new();
+        for (k, tp) in t.iter().enumerate().skip(2) {
+            p.triples.push(*tp);
+            let run = p.push_node(PatternNode::Triples {
+                start: k as u32,
+                len: 1,
+            });
+            let g = p.push_node(PatternNode::Group { first: run });
+            branches.push(&mut p, g);
+        }
+        let union = p.push_node(PatternNode::Union {
+            first: branches.first(),
+        });
+        chain.push(&mut p, union);
+
+        let lhs = p.push_expr(ExprNode::Term(Term::var(i.intern("s0"))));
+        let rhs = p.push_expr(ExprNode::Term(Term::literal(
+            i.intern("\"3\"^^<http://www.w3.org/2001/XMLSchema#integer>"),
+        )));
+        let cmp = p.push_expr(ExprNode::Cmp(CmpOp::Lt, lhs, rhs));
+        let filter = p.push_node(PatternNode::Filter { expr: cmp });
+        chain.push(&mut p, filter);
+
+        p.root = p.push_node(PatternNode::Group {
+            first: chain.first(),
+        });
+        p
+    }
+
+    #[test]
+    fn group_pattern_renders_all_shapes() {
+        let mut i = Interner::new();
+        let p = sample_group(&mut i);
+        let text = p.display(&i).to_string();
+        assert_eq!(
+            text,
+            "{\n  ?s0 <http://ex.org/p0> ?o0 .\n  OPTIONAL {\n    ?s1 <http://ex.org/p1> ?o1 .\n  }\n  \
+             {\n    ?s2 <http://ex.org/p2> ?o2 .\n  }\n  UNION\n  {\n    ?s3 <http://ex.org/p3> ?o3 .\n  }\n  \
+             FILTER(?s0 < \"3\"^^<http://www.w3.org/2001/XMLSchema#integer>)\n}"
+        );
+    }
+
+    #[test]
+    fn structural_equality_ignores_buffer_layout() {
+        let mut i = Interner::new();
+        let a = sample_group(&mut i);
+        // Same tree, different layout: build in a different node order by
+        // round-tripping through a second build that prepends junk triples
+        // to the pool (referenced by no run) and re-creates the tree.
+        let mut b = sample_group(&mut i);
+        b.triples.push(sample_triple(&mut i, 9)); // unreachable from any run
+        assert_eq!(a, b, "unreachable pool entries must not affect equality");
+
+        // A genuinely different tree is unequal.
+        let mut c = sample_group(&mut i);
+        let extra = c.triples.len() as u32;
+        c.triples.push(sample_triple(&mut i, 5));
+        let run = c.push_node(PatternNode::Triples {
+            start: extra,
+            len: 1,
+        });
+        let root = c.root;
+        // Append the run to the root group's chain.
+        let PatternNode::Group { first } = c.nodes[root as usize] else {
+            unreachable!()
+        };
+        let mut last = first;
+        while c.next[last as usize] != NO_NODE {
+            last = c.next[last as usize];
+        }
+        c.next[last as usize] = run;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_bgp_is_flat_and_empty_pattern_renders() {
+        let mut i = Interner::new();
+        let bgp = Bgp::new(vec![sample_triple(&mut i, 0)]);
+        let p = GroupPattern::from_bgp(&bgp);
+        assert!(p.is_flat());
+        assert_eq!(p.triples, bgp.patterns);
+        let empty = GroupPattern::new();
+        assert_eq!(empty.display(&i).to_string(), "{\n}");
+        assert_eq!(empty, GroupPattern::from_bgp(&Bgp::default()));
     }
 }

@@ -1,4 +1,4 @@
-//! BGP rewriting: apply an [`AlignmentStore`] to a query.
+//! Group-graph-pattern rewriting: apply an [`AlignmentStore`] to a query.
 //!
 //! Both rewriters implement the same semantics; they differ only in how rule
 //! candidates are found per triple pattern:
@@ -9,17 +9,33 @@
 //!   naive implementation would. Kept behind the same [`Rewriter`] trait as
 //!   the benchmark baseline.
 //!
-//! Semantics (single pass, in pattern order):
-//! 1. Entity alignments are applied to the subject, predicate, and object of
-//!    the pattern. The first rule in id order for a given source term wins.
-//! 2. The (possibly substituted) pattern is matched against predicate
-//!    templates; the first matching rule in id order replaces the pattern
-//!    with its instantiated right-hand side. Variables introduced by the
-//!    template (present in rhs, absent from lhs) become
-//!    [`TermKind::Fresh`](crate::term::TermKind::Fresh) terms numbered by a
-//!    per-rewrite counter — no string is interned and no name lookup
-//!    happens, because a fresh term is structurally unequal to every parsed
-//!    variable.
+//! # Semantics
+//!
+//! The query's [`GroupPattern`] tree is rewritten **recursively**: nested
+//! groups, `OPTIONAL` bodies, and every `UNION` branch are rewritten in
+//! place with the same rules, and `FILTER` expressions get entity
+//! substitution applied to their IRI/literal operands. Per triple pattern
+//! (in pattern order):
+//!
+//! 1. Entity alignments are applied to the subject, predicate, and object.
+//!    The first entity rule in id order for a given source term wins.
+//! 2. The (possibly substituted) pattern is matched against **all**
+//!    predicate templates, in rule-id order:
+//!    * no match — the pattern passes through unchanged;
+//!    * exactly one match — the instantiated right-hand side replaces the
+//!      pattern inline, extending the current triples run;
+//!    * two or more matches — the paper's union semantics (Correndo et al.
+//!      EDBT 2010, §4): the pattern becomes a `UNION` whose branches are
+//!      the instantiated templates, **one branch per matching rule, in rule
+//!      id order**. Nothing is silently dropped.
+//!
+//!    Variables introduced by a template (present in rhs, absent from lhs)
+//!    become [`TermKind::Fresh`](crate::term::TermKind::Fresh) terms
+//!    numbered by a per-rewrite counter — no string is interned and no name
+//!    lookup happens, because a fresh term is structurally unequal to every
+//!    parsed variable. Counters are minted left-to-right across the whole
+//!    tree, so branch contents are deterministic and independent of thread
+//!    scheduling.
 //!
 //! Rewriting is not run to a fixpoint: rule sets are assumed to be composed
 //! offline (paper §4), so output vocabulary is never itself rewritten.
@@ -29,9 +45,12 @@
 //! Steady-state rewriting needs only `&self` over shared immutable state:
 //! the [`Rewriter`] methods take no interner, [`AlignmentStore`] and the
 //! rewriters are `Send + Sync`, and the `*_into` entry points write into a
-//! caller-owned [`RewriteScratch`] whose buffers are reused across calls —
-//! after warm-up, a `rewrite_query_into` call performs **zero heap
-//! allocations** (asserted by `tests/alloc_free.rs`).
+//! caller-owned [`RewriteScratch`] whose buffers are reused across calls.
+//! The rewritten group tree itself lives in the scratch as a flattened,
+//! index-linked buffer ([`GroupPattern`]'s four flat `Vec`s of `Copy`
+//! nodes — no per-node boxing), so after warm-up a `rewrite_query_into`
+//! call performs **zero heap allocations** even when it expands UNION
+//! branches and copies FILTER trees (asserted by `tests/alloc_free.rs`).
 //!
 //! Sharing one rule set across worker threads is an `Arc` away:
 //!
@@ -78,18 +97,22 @@ use std::borrow::Borrow;
 use std::sync::Arc;
 
 use crate::align::{AlignmentStore, Rule};
-use crate::pattern::{Bgp, Query, SelectList, TriplePattern};
+use crate::pattern::{
+    Bgp, ChainBuilder, ExprNode, GroupPattern, PatternNode, Query, SelectList, TriplePattern,
+};
 use crate::term::{Symbol, Term, TermKind};
 
 /// Caller-owned scratch space for allocation-free rewriting.
 ///
 /// Holds the output buffers and the per-rewrite rename state. Every
 /// `rewrite_*_into` call clears and refills it; buffer capacity is retained,
-/// so repeated calls with a warmed scratch never touch the allocator.
+/// so repeated calls with a warmed scratch never touch the allocator. The
+/// rewritten group tree is stored flattened ([`GroupPattern`]) — nodes,
+/// sibling links, triples, and filter expressions in four flat `Vec`s.
 #[derive(Default, Debug)]
 pub struct RewriteScratch {
-    /// Rewritten triple patterns of the last call.
-    out: Vec<TriplePattern>,
+    /// Rewritten group pattern of the last call.
+    pattern: GroupPattern,
     /// Projection of the last `rewrite_query_into` call (empty for `*`).
     select: Vec<Term>,
     select_star: bool,
@@ -97,6 +120,9 @@ pub struct RewriteScratch {
     /// whole `Term` (not `Symbol`) because a blank `_:b` and a variable `?b`
     /// share an interned string but must rename independently.
     renames: Vec<(Term, Term)>,
+    /// Ids of the predicate rules matching the triple pattern in progress,
+    /// in rule-id order — the future UNION branches.
+    match_ids: Vec<u32>,
     /// Next fresh-variable counter for this rewrite call.
     fresh_next: u32,
     /// Counter value after the pre-pass over the input (i.e. one past the
@@ -110,10 +136,17 @@ impl RewriteScratch {
         RewriteScratch::default()
     }
 
-    /// Rewritten patterns of the last `rewrite_*_into` call.
+    /// The rewritten group pattern of the last `rewrite_*_into` call.
+    #[inline]
+    pub fn pattern(&self) -> &GroupPattern {
+        &self.pattern
+    }
+
+    /// All rewritten triple patterns of the last call, in rendering order
+    /// across the whole tree (UNION branches included).
     #[inline]
     pub fn patterns(&self) -> &[TriplePattern] {
-        &self.out
+        &self.pattern.triples
     }
 
     /// Projection of the last `rewrite_query_into` call: `None` for
@@ -135,9 +168,9 @@ impl RewriteScratch {
         self.fresh_next - self.fresh_start
     }
 
-    /// Copy the last result out as an owned [`Bgp`] (allocates).
-    pub fn to_bgp(&self) -> Bgp {
-        Bgp::new(self.out.clone())
+    /// Copy the last result out as an owned [`GroupPattern`] (allocates).
+    pub fn to_pattern(&self) -> GroupPattern {
+        self.pattern.clone()
     }
 
     /// Copy the last result out as an owned [`Query`] (allocates). Only
@@ -149,12 +182,12 @@ impl RewriteScratch {
             } else {
                 SelectList::Vars(self.select.clone())
             },
-            bgp: self.to_bgp(),
+            pattern: self.to_pattern(),
         }
     }
 }
 
-/// A BGP rewriting strategy. Object-safe so benchmarks can treat strategies
+/// A rewriting strategy. Object-safe so benchmarks can treat strategies
 /// uniformly. All methods take `&self` and no interner: fresh variables are
 /// structural ([`TermKind::Fresh`](crate::term::TermKind::Fresh)), so the
 /// hot path never mints strings.
@@ -162,20 +195,31 @@ pub trait Rewriter {
     /// Human-readable strategy name for benchmark output.
     fn name(&self) -> &'static str;
 
-    /// Rewrite a bare BGP into `scratch` (allocation-free once warm).
+    /// Rewrite a bare BGP into `scratch` (allocation-free once warm). The
+    /// result is a group pattern: multi-template matches expand to UNION
+    /// nodes even when the input was flat.
     fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch);
 
+    /// Rewrite a full group graph pattern into `scratch`, recursively
+    /// (allocation-free once warm).
+    fn rewrite_pattern_into(&self, pattern: &GroupPattern, scratch: &mut RewriteScratch);
+
     /// Rewrite a full query into `scratch`: the projection is copied into
-    /// the scratch, the BGP is rewritten (allocation-free once warm).
+    /// the scratch, the pattern is rewritten (allocation-free once warm).
     fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch);
 
-    /// Convenience wrapper allocating a fresh output BGP.
-    fn rewrite_bgp(&self, bgp: &Bgp) -> Bgp {
+    /// Convenience wrapper allocating a fresh output pattern.
+    fn rewrite_bgp(&self, bgp: &Bgp) -> GroupPattern {
         let mut scratch = RewriteScratch::new();
         self.rewrite_bgp_into(bgp, &mut scratch);
-        Bgp {
-            patterns: scratch.out,
-        }
+        scratch.pattern
+    }
+
+    /// Convenience wrapper allocating a fresh output pattern.
+    fn rewrite_pattern(&self, pattern: &GroupPattern) -> GroupPattern {
+        let mut scratch = RewriteScratch::new();
+        self.rewrite_pattern_into(pattern, &mut scratch);
+        scratch.pattern
     }
 
     /// Convenience wrapper allocating a fresh output query.
@@ -224,12 +268,17 @@ impl<S: Borrow<AlignmentStore>> LinearRewriter<S> {
 }
 
 /// How a strategy finds rule candidates. The surrounding engine
-/// ([`rewrite_bgp_with`]) is shared, which is what guarantees the two
+/// ([`rewrite_pattern_with`]) is shared, which is what guarantees the two
 /// rewriters are semantically identical.
 trait RuleLookup {
     fn entity_target(&self, t: Term) -> Option<Term>;
-    /// First predicate rule (in id order) whose lhs matches `tp`.
-    fn matching_template(&self, tp: TriplePattern) -> Option<(TriplePattern, &[TriplePattern])>;
+
+    /// The rule set, for resolving matched rule ids to their templates.
+    fn rules(&self) -> &AlignmentStore;
+
+    /// Append the ids of **every** predicate rule whose lhs matches `tp`,
+    /// in rule-id order.
+    fn collect_matching_templates(&self, tp: TriplePattern, out: &mut Vec<u32>);
 }
 
 impl<S: Borrow<AlignmentStore>> RuleLookup for IndexedRewriter<S> {
@@ -239,17 +288,21 @@ impl<S: Borrow<AlignmentStore>> RuleLookup for IndexedRewriter<S> {
     }
 
     #[inline]
-    fn matching_template(&self, tp: TriplePattern) -> Option<(TriplePattern, &[TriplePattern])> {
+    fn rules(&self) -> &AlignmentStore {
+        self.store()
+    }
+
+    #[inline]
+    fn collect_matching_templates(&self, tp: TriplePattern, out: &mut Vec<u32>) {
         let store = self.store();
         let rules = store.rules();
         for &id in store.predicate_candidates(tp.p) {
-            if let Rule::Predicate { lhs, rhs } = &rules[id as usize] {
+            if let Rule::Predicate { lhs, .. } = &rules[id as usize] {
                 if lhs_matches(*lhs, tp) {
-                    return Some((*lhs, rhs));
+                    out.push(id);
                 }
             }
         }
-        None
     }
 }
 
@@ -265,15 +318,19 @@ impl<S: Borrow<AlignmentStore>> RuleLookup for LinearRewriter<S> {
         None
     }
 
-    fn matching_template(&self, tp: TriplePattern) -> Option<(TriplePattern, &[TriplePattern])> {
-        for rule in self.store().rules() {
-            if let Rule::Predicate { lhs, rhs } = rule {
+    #[inline]
+    fn rules(&self) -> &AlignmentStore {
+        self.store()
+    }
+
+    fn collect_matching_templates(&self, tp: TriplePattern, out: &mut Vec<u32>) {
+        for (id, rule) in self.store().rules().iter().enumerate() {
+            if let Rule::Predicate { lhs, .. } = rule {
                 if lhs_matches(*lhs, tp) {
-                    return Some((*lhs, rhs));
+                    out.push(id as u32);
                 }
             }
         }
-        None
     }
 }
 
@@ -363,41 +420,242 @@ fn instantiate_template(
     }
 }
 
-/// The shared rewrite engine: entity substitution then template expansion,
-/// per pattern, in order. Fresh variables are structural, so no name
-/// reservation is needed — the only pre-pass skips past any fresh counters
-/// already present in the input (e.g. when re-rewriting a prior output), so
-/// newly minted existentials can never collide with them.
-fn rewrite_bgp_with<L: RuleLookup>(lookup: &L, bgp: &Bgp, scratch: &mut RewriteScratch) {
-    scratch.out.clear();
-    scratch.out.reserve(bgp.patterns.len());
-    scratch.fresh_next = 0;
-    for tp in &bgp.patterns {
-        for t in tp.terms() {
-            if t.is_fresh() {
-                scratch.fresh_next = scratch.fresh_next.max(t.fresh_index() + 1);
-            }
+/// The lhs/rhs of predicate rule `id`. Only called with ids collected by
+/// [`RuleLookup::collect_matching_templates`], which yields predicate rules
+/// exclusively.
+#[inline]
+fn rule_template(store: &AlignmentStore, id: u32) -> (TriplePattern, &[TriplePattern]) {
+    match &store.rules()[id as usize] {
+        Rule::Predicate { lhs, rhs } => (*lhs, rhs),
+        _ => unreachable!("collected template id points at a non-predicate rule"),
+    }
+}
+
+/// Rewrite one run of triple patterns, emitting output nodes into `chain`:
+/// maximal triples runs, interrupted by a UNION node for every pattern that
+/// matched two or more templates (one branch per template, rule-id order).
+fn rewrite_run<L: RuleLookup>(
+    lookup: &L,
+    triples: &[TriplePattern],
+    scratch: &mut RewriteScratch,
+    chain: &mut ChainBuilder,
+) {
+    let mut run_start = scratch.pattern.triples.len() as u32;
+    // Close the triples run accumulated since `run_start`, if non-empty.
+    fn flush(run_start: u32, scratch: &mut RewriteScratch, chain: &mut ChainBuilder) {
+        let end = scratch.pattern.triples.len() as u32;
+        if end > run_start {
+            let node = scratch.pattern.push_node(PatternNode::Triples {
+                start: run_start,
+                len: end - run_start,
+            });
+            chain.push(&mut scratch.pattern, node);
         }
     }
-    scratch.fresh_start = scratch.fresh_next;
-    for &tp in &bgp.patterns {
+    for &tp in triples {
         let substituted = TriplePattern::new(
             lookup.entity_target(tp.s).unwrap_or(tp.s),
             lookup.entity_target(tp.p).unwrap_or(tp.p),
             lookup.entity_target(tp.o).unwrap_or(tp.o),
         );
-        match lookup.matching_template(substituted) {
-            Some((lhs, rhs)) => instantiate_template(
-                lhs,
-                rhs,
-                substituted,
-                &mut scratch.out,
-                &mut scratch.renames,
-                &mut scratch.fresh_next,
-            ),
-            None => scratch.out.push(substituted),
+        // `match_ids` is moved out of the scratch for the duration of the
+        // borrow-heavy expansion below; `mem::take` leaves an unallocated
+        // empty Vec behind and the capacity-bearing buffer is put back
+        // afterwards, so the steady state still allocates nothing.
+        let mut ids = std::mem::take(&mut scratch.match_ids);
+        ids.clear();
+        lookup.collect_matching_templates(substituted, &mut ids);
+        match ids.as_slice() {
+            [] => scratch.pattern.triples.push(substituted),
+            [id] => {
+                let (lhs, rhs) = rule_template(lookup.rules(), *id);
+                instantiate_template(
+                    lhs,
+                    rhs,
+                    substituted,
+                    &mut scratch.pattern.triples,
+                    &mut scratch.renames,
+                    &mut scratch.fresh_next,
+                );
+            }
+            many => {
+                // Paper §4: several applicable alignments ⇒ the union of
+                // the instantiated templates, in rule-id order.
+                flush(run_start, scratch, chain);
+                let mut branches = ChainBuilder::new();
+                for &id in many {
+                    let (lhs, rhs) = rule_template(lookup.rules(), id);
+                    let branch_start = scratch.pattern.triples.len() as u32;
+                    instantiate_template(
+                        lhs,
+                        rhs,
+                        substituted,
+                        &mut scratch.pattern.triples,
+                        &mut scratch.renames,
+                        &mut scratch.fresh_next,
+                    );
+                    let branch_len = scratch.pattern.triples.len() as u32 - branch_start;
+                    let run = scratch.pattern.push_node(PatternNode::Triples {
+                        start: branch_start,
+                        len: branch_len,
+                    });
+                    let group = scratch.pattern.push_node(PatternNode::Group { first: run });
+                    branches.push(&mut scratch.pattern, group);
+                }
+                let union = scratch.pattern.push_node(PatternNode::Union {
+                    first: branches.first(),
+                });
+                chain.push(&mut scratch.pattern, union);
+                run_start = scratch.pattern.triples.len() as u32;
+            }
+        }
+        scratch.match_ids = ids;
+    }
+    flush(run_start, scratch, chain);
+}
+
+/// Copy a FILTER expression tree into the scratch, applying entity
+/// substitution to IRI/literal operands (Ondo et al.: complex alignments
+/// need FILTER-level substitution). Variables pass through: BGP rewriting
+/// preserves query-variable identity, so filter references stay valid.
+fn rewrite_expr<L: RuleLookup>(
+    lookup: &L,
+    src: &GroupPattern,
+    e: u32,
+    scratch: &mut RewriteScratch,
+) -> u32 {
+    let node = match src.exprs[e as usize] {
+        ExprNode::Term(t) => ExprNode::Term(lookup.entity_target(t).unwrap_or(t)),
+        ExprNode::Cmp(op, l, r) => {
+            let l = rewrite_expr(lookup, src, l, scratch);
+            let r = rewrite_expr(lookup, src, r, scratch);
+            ExprNode::Cmp(op, l, r)
+        }
+        ExprNode::And(l, r) => {
+            let l = rewrite_expr(lookup, src, l, scratch);
+            let r = rewrite_expr(lookup, src, r, scratch);
+            ExprNode::And(l, r)
+        }
+        ExprNode::Or(l, r) => {
+            let l = rewrite_expr(lookup, src, l, scratch);
+            let r = rewrite_expr(lookup, src, r, scratch);
+            ExprNode::Or(l, r)
+        }
+        ExprNode::Not(c) => ExprNode::Not(rewrite_expr(lookup, src, c, scratch)),
+    };
+    scratch.pattern.push_expr(node)
+}
+
+/// Rewrite one non-triples node, returning the output node index.
+fn rewrite_node<L: RuleLookup>(
+    lookup: &L,
+    src: &GroupPattern,
+    idx: u32,
+    scratch: &mut RewriteScratch,
+) -> u32 {
+    match src.nodes[idx as usize] {
+        PatternNode::Group { first } => {
+            let first = rewrite_children(lookup, src, first, scratch);
+            scratch.pattern.push_node(PatternNode::Group { first })
+        }
+        PatternNode::Optional { first } => {
+            let first = rewrite_children(lookup, src, first, scratch);
+            scratch.pattern.push_node(PatternNode::Optional { first })
+        }
+        PatternNode::Union { first } => {
+            let mut branches = ChainBuilder::new();
+            for b in src.children_from(first) {
+                let out = rewrite_node(lookup, src, b, scratch);
+                branches.push(&mut scratch.pattern, out);
+            }
+            scratch.pattern.push_node(PatternNode::Union {
+                first: branches.first(),
+            })
+        }
+        PatternNode::Filter { expr } => {
+            let expr = rewrite_expr(lookup, src, expr, scratch);
+            scratch.pattern.push_node(PatternNode::Filter { expr })
+        }
+        // Unreachable from parser output (union branches are groups), but a
+        // programmatically built pattern may put a bare run here; wrap its
+        // rewrite — which can fan out into run/UNION siblings — in a group.
+        PatternNode::Triples { .. } => {
+            let mut chain = ChainBuilder::new();
+            rewrite_run(lookup, src.run(idx), scratch, &mut chain);
+            scratch.pattern.push_node(PatternNode::Group {
+                first: chain.first(),
+            })
         }
     }
+}
+
+/// Rewrite a sibling chain, returning the head of the output chain.
+fn rewrite_children<L: RuleLookup>(
+    lookup: &L,
+    src: &GroupPattern,
+    first: u32,
+    scratch: &mut RewriteScratch,
+) -> u32 {
+    let mut chain = ChainBuilder::new();
+    for ci in src.children_from(first) {
+        if matches!(src.nodes[ci as usize], PatternNode::Triples { .. }) {
+            rewrite_run(lookup, src.run(ci), scratch, &mut chain);
+        } else {
+            let out = rewrite_node(lookup, src, ci, scratch);
+            chain.push(&mut scratch.pattern, out);
+        }
+    }
+    chain.first()
+}
+
+/// Reset the scratch and run the fresh-counter pre-pass: newly minted
+/// existentials must sit above any fresh counter the input already carries
+/// (e.g. when re-rewriting a prior output).
+fn begin_rewrite(terms: impl Iterator<Item = Term>, scratch: &mut RewriteScratch) {
+    scratch.pattern.clear();
+    scratch.fresh_next = 0;
+    for t in terms {
+        if t.is_fresh() {
+            scratch.fresh_next = scratch.fresh_next.max(t.fresh_index() + 1);
+        }
+    }
+    scratch.fresh_start = scratch.fresh_next;
+}
+
+/// The shared recursive rewrite engine over a full group pattern.
+fn rewrite_pattern_with<L: RuleLookup>(
+    lookup: &L,
+    pattern: &GroupPattern,
+    scratch: &mut RewriteScratch,
+) {
+    begin_rewrite(pattern.terms(), scratch);
+    scratch.pattern.nodes.reserve(pattern.nodes.len());
+    scratch.pattern.next.reserve(pattern.next.len());
+    scratch.pattern.triples.reserve(pattern.triples.len());
+    scratch.pattern.exprs.reserve(pattern.exprs.len());
+    let mut chain = ChainBuilder::new();
+    for ci in pattern.root_children() {
+        if matches!(pattern.nodes[ci as usize], PatternNode::Triples { .. }) {
+            rewrite_run(lookup, pattern.run(ci), scratch, &mut chain);
+        } else {
+            let out = rewrite_node(lookup, pattern, ci, scratch);
+            chain.push(&mut scratch.pattern, out);
+        }
+    }
+    scratch.pattern.root = scratch.pattern.push_node(PatternNode::Group {
+        first: chain.first(),
+    });
+}
+
+/// Flat-BGP entry point: the input is a single triples run under the root.
+fn rewrite_bgp_with<L: RuleLookup>(lookup: &L, bgp: &Bgp, scratch: &mut RewriteScratch) {
+    begin_rewrite(bgp.patterns.iter().flat_map(|tp| tp.terms()), scratch);
+    scratch.pattern.triples.reserve(bgp.patterns.len());
+    let mut chain = ChainBuilder::new();
+    rewrite_run(lookup, &bgp.patterns, scratch, &mut chain);
+    scratch.pattern.root = scratch.pattern.push_node(PatternNode::Group {
+        first: chain.first(),
+    });
 }
 
 fn rewrite_query_with<L: RuleLookup>(lookup: &L, query: &Query, scratch: &mut RewriteScratch) {
@@ -409,7 +667,7 @@ fn rewrite_query_with<L: RuleLookup>(lookup: &L, query: &Query, scratch: &mut Re
             scratch.select.extend_from_slice(vars);
         }
     }
-    rewrite_bgp_with(lookup, &query.bgp, scratch);
+    rewrite_pattern_with(lookup, &query.pattern, scratch);
 }
 
 impl<S: Borrow<AlignmentStore>> Rewriter for IndexedRewriter<S> {
@@ -419,6 +677,10 @@ impl<S: Borrow<AlignmentStore>> Rewriter for IndexedRewriter<S> {
 
     fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch) {
         rewrite_bgp_with(self, bgp, scratch);
+    }
+
+    fn rewrite_pattern_into(&self, pattern: &GroupPattern, scratch: &mut RewriteScratch) {
+        rewrite_pattern_with(self, pattern, scratch);
     }
 
     fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch) {
@@ -433,6 +695,10 @@ impl<S: Borrow<AlignmentStore>> Rewriter for LinearRewriter<S> {
 
     fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch) {
         rewrite_bgp_with(self, bgp, scratch);
+    }
+
+    fn rewrite_pattern_into(&self, pattern: &GroupPattern, scratch: &mut RewriteScratch) {
+        rewrite_pattern_with(self, pattern, scratch);
     }
 
     fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch) {

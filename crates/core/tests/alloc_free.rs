@@ -4,7 +4,9 @@
 //! [`RewriteScratch`] over a workload once, then asserts that repeated
 //! `rewrite_query_into` calls never touch the allocator again. The workload
 //! deliberately exercises every allocation-prone path: entity substitution,
-//! one-to-many template expansion, fresh-variable minting, and rule misses.
+//! one-to-many template expansion, multi-template UNION expansion,
+//! fresh-variable minting, rule misses, and recursive group-pattern
+//! rewriting (nested groups, OPTIONAL, UNION, FILTER trees).
 
 use std::sync::{Mutex, MutexGuard};
 
@@ -54,6 +56,17 @@ fn build_fixture() -> (AlignmentStore, Vec<Query>) {
     .unwrap()
     .patterns;
     store.add_predicate(lhs2, rhs2).unwrap();
+    // Two templates on one predicate: every `src:multi` pattern expands into
+    // a two-branch UNION.
+    let lhs3 = parse_bgp("?a <http://src/multi> ?b", &mut it)
+        .unwrap()
+        .patterns[0];
+    for tgt in ["m1", "m2"] {
+        let rhs = parse_bgp(&format!("?a <http://tgt/{tgt}> ?b"), &mut it)
+            .unwrap()
+            .patterns;
+        store.add_predicate(lhs3, rhs).unwrap();
+    }
 
     let queries = vec![
         parse_query(
@@ -67,6 +80,24 @@ fn build_fixture() -> (AlignmentStore, Vec<Query>) {
         )
         .unwrap(),
         parse_query("SELECT ?x WHERE { ?x <http://nohit/p> <http://nohit/o> }", &mut it).unwrap(),
+        // Group-pattern shapes driven through the recursive path: nested
+        // group, OPTIONAL, explicit UNION, FILTER with entity substitution,
+        // and a multi-template UNION expansion inside the OPTIONAL.
+        parse_query(
+            "SELECT * WHERE { ?a <http://src/one> ?b . \
+             OPTIONAL { ?b <http://src/multi> ?c } \
+             { ?c <http://src/split> ?d } UNION { { ?c <http://src/one> ?e } } \
+             FILTER(?b != <http://src/E> && ?c < 42 || !(?d = \"z\"@en)) }",
+            &mut it,
+        )
+        .unwrap(),
+        // A multi-match at top level sandwiched between pass-throughs.
+        parse_query(
+            "SELECT * WHERE { ?x <http://miss/p> ?y . ?x <http://src/multi> ?z . \
+             ?z <http://miss/q> ?w }",
+            &mut it,
+        )
+        .unwrap(),
     ];
     (store, queries)
 }
@@ -124,18 +155,18 @@ fn linear_strategy_is_also_allocation_free() {
 }
 
 #[test]
-fn rewrite_bgp_into_is_allocation_free_after_warmup() {
+fn rewrite_pattern_into_is_allocation_free_after_warmup() {
     let _guard = serialized();
     let (store, queries) = build_fixture();
     let rewriter = IndexedRewriter::new(&store);
     let mut scratch = RewriteScratch::new();
     for q in &queries {
-        rewriter.rewrite_bgp_into(&q.bgp, &mut scratch);
+        rewriter.rewrite_pattern_into(&q.pattern, &mut scratch);
     }
     let before = allocation_count();
     for _ in 0..100 {
         for q in &queries {
-            rewriter.rewrite_bgp_into(&q.bgp, &mut scratch);
+            rewriter.rewrite_pattern_into(&q.pattern, &mut scratch);
         }
     }
     assert_eq!(allocation_count() - before, 0);

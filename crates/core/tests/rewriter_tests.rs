@@ -1,11 +1,15 @@
 //! Rewriter semantics: entity substitution, predicate-template expansion,
-//! variable-capture avoidance, and indexed ≡ linear equivalence on random
-//! rule sets.
+//! multi-template UNION expansion, recursive group rewriting, FILTER
+//! substitution, variable-capture avoidance, and indexed ≡ linear
+//! equivalence on random rule sets and random group-shaped queries.
 
 use sparql_rewrite_core::{
-    parse_bgp, parse_query, AlignmentStore, Bgp, IndexedRewriter, Interner, LinearRewriter, Query,
-    Rewriter, SelectList, Term, TriplePattern,
+    parse_bgp, parse_query, AlignmentStore, Bgp, GroupPattern, IndexedRewriter, Interner,
+    LinearRewriter, PatternNode, Query, Rewriter, SelectList, Term, TriplePattern,
 };
+
+mod common;
+use common::{random_group_query_text, Rng};
 
 fn iri(i: &mut Interner, s: &str) -> Term {
     Term::iri(i.intern(s))
@@ -13,6 +17,11 @@ fn iri(i: &mut Interner, s: &str) -> Term {
 
 fn var(i: &mut Interner, s: &str) -> Term {
     Term::var(i.intern(s))
+}
+
+/// The root group's nodes, materialized for shape assertions.
+fn root_nodes(p: &GroupPattern) -> Vec<PatternNode> {
+    p.root_children().map(|c| p.nodes[c as usize]).collect()
 }
 
 #[test]
@@ -33,12 +42,13 @@ fn entity_substitution_all_positions() {
     ]);
     let rewritten = IndexedRewriter::new(&store).rewrite_bgp(&bgp);
     assert_eq!(
-        rewritten.patterns,
+        rewritten.triples,
         vec![
             TriplePattern::new(tgt, tgt_p, tgt),
             TriplePattern::new(var(&mut it, "x"), tgt_p, var(&mut it, "y")),
         ]
     );
+    assert!(rewritten.is_flat());
 }
 
 #[test]
@@ -98,8 +108,8 @@ fn predicate_template_one_to_many_expansion() {
     )
     .unwrap();
     let out = IndexedRewriter::new(&store).rewrite_query(&query);
-    assert_eq!(out.bgp.patterns.len(), 2);
-    let [a, b] = [out.bgp.patterns[0], out.bgp.patterns[1]];
+    assert_eq!(out.pattern.triples.len(), 2);
+    let [a, b] = [out.pattern.triples[0], out.pattern.triples[1]];
     // ?x bound to ?who in both output patterns.
     assert_eq!(a.s, var(&mut it, "who"));
     assert_eq!(b.s, var(&mut it, "who"));
@@ -128,9 +138,13 @@ fn template_with_concrete_lhs_object_matches_selectively() {
     let miss = parse_bgp("?a <http://src/type> <http://src/Other>", &mut it).unwrap();
     let rw = IndexedRewriter::new(&store);
     let hit_out = rw.rewrite_bgp(&hit);
-    assert_eq!(hit_out.patterns[0].p, iri(&mut it, "http://tgt/kind"));
+    assert_eq!(hit_out.triples[0].p, iri(&mut it, "http://tgt/kind"));
     let miss_out = rw.rewrite_bgp(&miss);
-    assert_eq!(miss_out, miss, "non-matching object must not rewrite");
+    assert_eq!(
+        miss_out,
+        GroupPattern::from_bgp(&miss),
+        "non-matching object must not rewrite"
+    );
 }
 
 #[test]
@@ -149,11 +163,11 @@ fn repeated_lhs_variable_requires_equal_terms() {
 
     let reflexive = parse_bgp("?a <http://src/sameAs> ?a", &mut it).unwrap();
     let out = rw.rewrite_bgp(&reflexive);
-    assert_eq!(out.patterns[0].p, iri(&mut it, "http://tgt/reflexive"));
+    assert_eq!(out.triples[0].p, iri(&mut it, "http://tgt/reflexive"));
 
     let non_reflexive = parse_bgp("?a <http://src/sameAs> ?b", &mut it).unwrap();
     let out = rw.rewrite_bgp(&non_reflexive);
-    assert_eq!(out, non_reflexive);
+    assert_eq!(out, GroupPattern::from_bgp(&non_reflexive));
 }
 
 #[test]
@@ -174,18 +188,18 @@ fn fresh_variables_avoid_capture() {
     )
     .unwrap();
     let out = IndexedRewriter::new(&store).rewrite_query(&query);
-    assert_eq!(out.bgp.patterns.len(), 3);
-    let intro = out.bgp.patterns[0].o; // the renamed ?m from the template
+    assert_eq!(out.pattern.triples.len(), 3);
+    let intro = out.pattern.triples[0].o; // the renamed ?m from the template
     assert!(intro.is_fresh(), "template existentials are Fresh terms");
     // The introduced variable is none of the query's variables.
     for taken in ["m", "g0", "g1"] {
         assert_ne!(intro, var(&mut it, taken), "captured ?{taken}");
     }
     // And it joins the two expanded patterns.
-    assert_eq!(out.bgp.patterns[1].s, intro);
+    assert_eq!(out.pattern.triples[1].s, intro);
     // Untouched pattern still references the original ?g0/?g1.
-    assert_eq!(out.bgp.patterns[2].s, var(&mut it, "g0"));
-    assert_eq!(out.bgp.patterns[2].o, var(&mut it, "g1"));
+    assert_eq!(out.pattern.triples[2].s, var(&mut it, "g0"));
+    assert_eq!(out.pattern.triples[2].o, var(&mut it, "g1"));
 }
 
 #[test]
@@ -205,9 +219,9 @@ fn fresh_variables_distinct_across_multiple_expansions() {
     )
     .unwrap();
     let out = IndexedRewriter::new(&store).rewrite_query(&query);
-    assert_eq!(out.bgp.patterns.len(), 4);
-    let m1 = out.bgp.patterns[0].o;
-    let m2 = out.bgp.patterns[2].o;
+    assert_eq!(out.pattern.triples.len(), 4);
+    let m1 = out.pattern.triples[0].o;
+    let m2 = out.pattern.triples[2].o;
     assert_ne!(m1, m2, "existentials from separate expansions must differ");
 }
 
@@ -231,7 +245,7 @@ fn entity_substitution_feeds_template_matching() {
     let query = parse_bgp("?x <http://legacy/knows> ?y", &mut it).unwrap();
     let out = IndexedRewriter::new(&store).rewrite_bgp(&query);
     assert_eq!(
-        out.patterns,
+        out.triples,
         vec![TriplePattern::new(
             var(&mut it, "y"),
             iri(&mut it, "http://tgt/knownBy"),
@@ -240,8 +254,13 @@ fn entity_substitution_feeds_template_matching() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Multi-template matches: the paper's union semantics. These tests fail on
+// a first-match-wins rewriter — every alternative must survive.
+// ---------------------------------------------------------------------------
+
 #[test]
-fn first_matching_rule_wins_in_id_order() {
+fn two_matching_templates_expand_to_a_union_of_both() {
     let mut it = Interner::new();
     let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
     let rhs1 = parse_bgp("?s <http://tgt/first> ?o", &mut it)
@@ -258,31 +277,222 @@ fn first_matching_rule_wins_in_id_order() {
         IndexedRewriter::new(&store).rewrite_bgp(&query),
         LinearRewriter::new(&store).rewrite_bgp(&query),
     ] {
-        assert_eq!(out.patterns[0].p, iri(&mut it, "http://tgt/first"));
+        // Shape: root group holds exactly one UNION with two group branches.
+        let nodes = root_nodes(&out);
+        assert_eq!(nodes.len(), 1, "{nodes:?}");
+        let PatternNode::Union { first } = nodes[0] else {
+            panic!("expected a UNION node, got {nodes:?} — alternatives were dropped");
+        };
+        let branches: Vec<u32> = out.children_from(first).collect();
+        assert_eq!(branches.len(), 2, "one branch per matching template");
+        // Branch order follows rule-id order: first, then second.
+        let branch_pred = |b: u32| -> Term {
+            let PatternNode::Group { first } = out.nodes[b as usize] else {
+                panic!("union branch must be a group");
+            };
+            let run = out.children_from(first).next().unwrap();
+            out.run(run)[0].p
+        };
+        assert_eq!(branch_pred(branches[0]), iri(&mut it, "http://tgt/first"));
+        assert_eq!(branch_pred(branches[1]), iri(&mut it, "http://tgt/second"));
     }
+}
+
+#[test]
+fn union_expansion_preserves_surrounding_conjunction() {
+    let mut it = Interner::new();
+    // One multi-match triple sandwiched between two pass-through triples:
+    // the group must keep the order run / UNION / run.
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs1 = parse_bgp("?s <http://tgt/a> ?o", &mut it).unwrap().patterns;
+    let rhs2 = parse_bgp("?s <http://tgt/b> ?o", &mut it).unwrap().patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs1).unwrap();
+    store.add_predicate(lhs, rhs2).unwrap();
+    let query = parse_bgp(
+        "?x <http://keep/1> ?y . ?x <http://src/p> ?z . ?z <http://keep/2> ?w",
+        &mut it,
+    )
+    .unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_bgp(&query);
+    let nodes = root_nodes(&out);
+    assert_eq!(nodes.len(), 3, "{nodes:?}");
+    assert!(matches!(nodes[0], PatternNode::Triples { len: 1, .. }));
+    assert!(matches!(nodes[1], PatternNode::Union { .. }));
+    assert!(matches!(nodes[2], PatternNode::Triples { len: 1, .. }));
+    let rendered = out.display(&it).to_string();
+    assert!(rendered.contains("<http://keep/1>"), "{rendered}");
+    assert!(rendered.contains("UNION"), "{rendered}");
+    assert!(rendered.contains("<http://tgt/a>"), "{rendered}");
+    assert!(rendered.contains("<http://tgt/b>"), "{rendered}");
+}
+
+#[test]
+fn union_branch_order_is_deterministic_in_rule_id_order() {
+    let mut it = Interner::new();
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let mut store = AlignmentStore::new();
+    // Three templates, registered in a known order; branches must follow it.
+    for name in ["zeta", "alpha", "mid"] {
+        let rhs = parse_bgp(&format!("?s <http://tgt/{name}> ?o"), &mut it)
+            .unwrap()
+            .patterns;
+        store.add_predicate(lhs, rhs).unwrap();
+    }
+    let query = parse_query("SELECT * WHERE { ?x <http://src/p> ?y }", &mut it).unwrap();
+    let rw = IndexedRewriter::new(&store);
+    let first = rw.rewrite_query(&query).display(&it).to_string();
+    // Registration order, not alphabetical order.
+    let (za, aa, ma) = (
+        first.find("zeta").unwrap(),
+        first.find("alpha").unwrap(),
+        first.find("mid").unwrap(),
+    );
+    assert!(za < aa && aa < ma, "{first}");
+    // Deterministic across repeated rewrites and across strategies.
+    for _ in 0..5 {
+        assert_eq!(rw.rewrite_query(&query).display(&it).to_string(), first);
+    }
+    assert_eq!(
+        LinearRewriter::new(&store)
+            .rewrite_query(&query)
+            .display(&it)
+            .to_string(),
+        first
+    );
+}
+
+#[test]
+fn union_branches_get_distinct_existentials() {
+    let mut it = Interner::new();
+    // Both templates introduce an existential ?m; the two branches must not
+    // share one fresh term (they are separate scopes, but shared counters
+    // would also be wrong across the surrounding conjunction).
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs1 = parse_bgp("?s <http://tgt/a> ?m . ?m <http://tgt/a2> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let rhs2 = parse_bgp("?s <http://tgt/b> ?m . ?m <http://tgt/b2> ?o", &mut it)
+        .unwrap()
+        .patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs1).unwrap();
+    store.add_predicate(lhs, rhs2).unwrap();
+    let query = parse_bgp("?x <http://src/p> ?y", &mut it).unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_bgp(&query);
+    let m1 = out.triples[0].o;
+    let m2 = out.triples[2].o;
+    assert!(m1.is_fresh() && m2.is_fresh());
+    assert_ne!(m1, m2);
+}
+
+// ---------------------------------------------------------------------------
+// Recursive group rewriting: OPTIONAL, UNION, nested groups, FILTER.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rewrites_inside_optional_union_and_nested_groups() {
+    let mut it = Interner::new();
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs = parse_bgp("?s <http://tgt/p> ?o", &mut it).unwrap().patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs).unwrap();
+    store
+        .add_entity(iri(&mut it, "http://src/E"), iri(&mut it, "http://tgt/E"))
+        .unwrap();
+
+    let query = parse_query(
+        "SELECT * WHERE { ?a <http://src/p> ?b . \
+         OPTIONAL { ?b <http://src/p> <http://src/E> } \
+         { ?c <http://src/p> ?d } UNION { { ?e <http://src/p> ?f } } }",
+        &mut it,
+    )
+    .unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
+    let rendered = out.display(&it).to_string();
+    assert!(
+        !rendered.contains("http://src/"),
+        "source vocabulary must be rewritten everywhere: {rendered}"
+    );
+    assert_eq!(rendered.matches("<http://tgt/p>").count(), 4, "{rendered}");
+    assert!(rendered.contains("<http://tgt/E>"), "{rendered}");
+    assert!(rendered.contains("OPTIONAL {"), "{rendered}");
+    assert!(rendered.contains("UNION"), "{rendered}");
+    // Structure preserved: run, optional, union at the root.
+    let nodes = root_nodes(&out.pattern);
+    assert!(matches!(nodes[0], PatternNode::Triples { .. }));
+    assert!(matches!(nodes[1], PatternNode::Optional { .. }));
+    assert!(matches!(nodes[2], PatternNode::Union { .. }));
+}
+
+#[test]
+fn multi_template_match_inside_optional_becomes_nested_union() {
+    let mut it = Interner::new();
+    let lhs = parse_bgp("?s <http://src/p> ?o", &mut it).unwrap().patterns[0];
+    let rhs1 = parse_bgp("?s <http://tgt/a> ?o", &mut it).unwrap().patterns;
+    let rhs2 = parse_bgp("?s <http://tgt/b> ?o", &mut it).unwrap().patterns;
+    let mut store = AlignmentStore::new();
+    store.add_predicate(lhs, rhs1).unwrap();
+    store.add_predicate(lhs, rhs2).unwrap();
+    let query = parse_query(
+        "SELECT * WHERE { ?x <http://other/q> ?y OPTIONAL { ?x <http://src/p> ?z } }",
+        &mut it,
+    )
+    .unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
+    let nodes = root_nodes(&out.pattern);
+    let PatternNode::Optional { first } = nodes[1] else {
+        panic!("expected OPTIONAL at root: {nodes:?}");
+    };
+    let inner: Vec<PatternNode> = out
+        .pattern
+        .children_from(first)
+        .map(|c| out.pattern.nodes[c as usize])
+        .collect();
+    assert_eq!(inner.len(), 1);
+    assert!(
+        matches!(inner[0], PatternNode::Union { .. }),
+        "multi-match inside OPTIONAL must expand to a UNION in place: {inner:?}"
+    );
+}
+
+#[test]
+fn filter_expressions_get_entity_substitution() {
+    let mut it = Interner::new();
+    let mut store = AlignmentStore::new();
+    store
+        .add_entity(
+            iri(&mut it, "http://src/Special"),
+            iri(&mut it, "http://tgt/Special"),
+        )
+        .unwrap();
+    let query = parse_query(
+        "SELECT * WHERE { ?s <http://p> ?o \
+         FILTER(?o = <http://src/Special> || !(?o < 3) && ?s != \"x\"@EN) }",
+        &mut it,
+    )
+    .unwrap();
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
+    let rendered = out.display(&it).to_string();
+    assert!(
+        rendered.contains("<http://tgt/Special>"),
+        "entity alignment must apply inside FILTER: {rendered}"
+    );
+    assert!(!rendered.contains("http://src/"), "{rendered}");
+    // Variables and the rest of the expression pass through (lang tag was
+    // normalized at parse time).
+    assert!(rendered.contains("\"x\"@en"), "{rendered}");
+    assert!(rendered.contains("||"), "{rendered}");
+    assert!(rendered.contains("!("), "{rendered}");
+    // Both rewriters agree.
+    let lin = LinearRewriter::new(&store).rewrite_query(&query);
+    assert_eq!(out, lin);
 }
 
 // ---------------------------------------------------------------------------
 // Property-style equivalence: indexed and linear rewriters must agree on
 // random rule sets and random queries.
 // ---------------------------------------------------------------------------
-
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-}
 
 fn random_term(rng: &mut Rng, it: &mut Interner, vocab: usize) -> Term {
     match rng.below(4) {
@@ -293,55 +503,66 @@ fn random_term(rng: &mut Rng, it: &mut Interner, vocab: usize) -> Term {
     }
 }
 
+/// Random rule set over a fixed predicate vocabulary; about half the rules
+/// are entity alignments, and predicate templates deliberately collide on
+/// the same predicate so multi-template UNION expansion is exercised.
+fn random_store(rng: &mut Rng, it: &mut Interner) -> AlignmentStore {
+    let preds: Vec<Term> = (0..12)
+        .map(|i| Term::iri(it.intern(&format!("http://ex/p{i}"))))
+        .collect();
+    let mut store = AlignmentStore::new();
+    let n_rules = 1 + rng.below(40);
+    for _ in 0..n_rules {
+        if rng.below(2) == 0 {
+            // Entity rule between random concrete IRIs.
+            let from = Term::iri(it.intern(&format!("http://ex/e{}", rng.below(20))));
+            let to = Term::iri(it.intern(&format!("http://tgt/e{}", rng.below(20))));
+            store.add_entity(from, to).unwrap();
+        } else {
+            let s = if rng.below(2) == 0 {
+                Term::var(it.intern("ts"))
+            } else {
+                random_term(rng, it, 20)
+            };
+            let o = if rng.below(2) == 0 {
+                Term::var(it.intern("to"))
+            } else {
+                random_term(rng, it, 20)
+            };
+            let lhs = TriplePattern::new(s, preds[rng.below(preds.len())], o);
+            let n_rhs = 1 + rng.below(3);
+            let rhs: Vec<TriplePattern> = (0..n_rhs)
+                .map(|k| {
+                    TriplePattern::new(
+                        if rng.below(2) == 0 {
+                            s
+                        } else {
+                            Term::var(it.intern(&format!("fresh{k}")))
+                        },
+                        Term::iri(it.intern(&format!("http://tgt/p{}", rng.below(12)))),
+                        if rng.below(2) == 0 {
+                            o
+                        } else {
+                            Term::var(it.intern(&format!("fresh{}", k + 1)))
+                        },
+                    )
+                })
+                .collect();
+            store.add_predicate(lhs, rhs).unwrap();
+        }
+    }
+    store
+}
+
 #[test]
 fn property_indexed_equals_linear_on_random_rule_sets() {
     for seed in 1..=20u64 {
         let mut rng = Rng(seed * 0x9e37_79b9);
         let mut it = Interner::new();
+        let store = random_store(&mut rng, &mut it);
         let preds: Vec<Term> = (0..12)
             .map(|i| Term::iri(it.intern(&format!("http://ex/p{i}"))))
             .collect();
-        let mut store = AlignmentStore::new();
-        let n_rules = 1 + rng.below(40);
-        for _ in 0..n_rules {
-            if rng.below(2) == 0 {
-                // Entity rule between random concrete IRIs.
-                let from = Term::iri(it.intern(&format!("http://ex/e{}", rng.below(20))));
-                let to = Term::iri(it.intern(&format!("http://tgt/e{}", rng.below(20))));
-                store.add_entity(from, to).unwrap();
-            } else {
-                let s = if rng.below(2) == 0 {
-                    Term::var(it.intern("ts"))
-                } else {
-                    random_term(&mut rng, &mut it, 20)
-                };
-                let o = if rng.below(2) == 0 {
-                    Term::var(it.intern("to"))
-                } else {
-                    random_term(&mut rng, &mut it, 20)
-                };
-                let lhs = TriplePattern::new(s, preds[rng.below(preds.len())], o);
-                let n_rhs = 1 + rng.below(3);
-                let rhs: Vec<TriplePattern> = (0..n_rhs)
-                    .map(|k| {
-                        TriplePattern::new(
-                            if rng.below(2) == 0 {
-                                s
-                            } else {
-                                Term::var(it.intern(&format!("fresh{k}")))
-                            },
-                            Term::iri(it.intern(&format!("http://tgt/p{}", rng.below(12)))),
-                            if rng.below(2) == 0 {
-                                o
-                            } else {
-                                Term::var(it.intern(&format!("fresh{}", k + 1)))
-                            },
-                        )
-                    })
-                    .collect();
-                store.add_predicate(lhs, rhs).unwrap();
-            }
-        }
         let n_patterns = 1 + rng.below(16);
         let patterns: Vec<TriplePattern> = (0..n_patterns)
             .map(|_| {
@@ -358,7 +579,7 @@ fn property_indexed_equals_linear_on_random_rule_sets() {
             .collect();
         let query = Query {
             select: SelectList::Star,
-            bgp: Bgp::new(patterns),
+            pattern: GroupPattern::from_bgp(&Bgp::new(patterns)),
         };
         let indexed = IndexedRewriter::new(&store).rewrite_query(&query);
         let linear = LinearRewriter::new(&store).rewrite_query(&query);
@@ -369,6 +590,30 @@ fn property_indexed_equals_linear_on_random_rule_sets() {
             indexed.display(&it),
             linear.display(&it)
         );
+    }
+}
+
+#[test]
+fn property_indexed_equals_linear_on_random_group_queries() {
+    for seed in 1..=25u64 {
+        let mut rng = Rng(seed * 0x51ed_2701);
+        let mut it = Interner::new();
+        let store = random_store(&mut rng, &mut it);
+        let text = random_group_query_text(&mut rng);
+        let query = parse_query(&text, &mut it).unwrap_or_else(|e| {
+            panic!("seed {seed}: generated query failed to parse: {e}\n{text}")
+        });
+        let indexed = IndexedRewriter::new(&store).rewrite_query(&query);
+        let linear = LinearRewriter::new(&store).rewrite_query(&query);
+        assert_eq!(
+            indexed,
+            linear,
+            "seed {seed}: rewriters disagree on group query\n{text}\nindexed: {}\nlinear: {}",
+            indexed.display(&it),
+            linear.display(&it)
+        );
+        // Rewriting is deterministic per query.
+        assert_eq!(indexed, IndexedRewriter::new(&store).rewrite_query(&query));
     }
 }
 
@@ -390,15 +635,15 @@ fn template_blank_nodes_freshened_per_expansion() {
     )
     .unwrap();
     let out = IndexedRewriter::new(&store).rewrite_query(&query);
-    assert_eq!(out.bgp.patterns.len(), 3);
-    let o1 = out.bgp.patterns[0].o;
-    let o2 = out.bgp.patterns[1].o;
+    assert_eq!(out.pattern.triples.len(), 3);
+    let o1 = out.pattern.triples[0].o;
+    let o2 = out.pattern.triples[1].o;
     let query_blank = Term::blank(it.intern("b"));
     assert_ne!(o1, o2, "one existential shared across expansions");
     assert_ne!(o1, query_blank, "captured the query's _:b");
     assert_ne!(o2, query_blank, "captured the query's _:b");
     // The query's own blank node passes through untouched.
-    assert_eq!(out.bgp.patterns[2].s, query_blank);
+    assert_eq!(out.pattern.triples[2].s, query_blank);
     // Indexed and linear still agree.
     let lin = LinearRewriter::new(&store).rewrite_query(&query);
     assert_eq!(out, lin);
@@ -416,14 +661,19 @@ fn scratch_reuse_matches_fresh_scratch() {
     let rhs = parse_bgp("?s <http://tgt/p> ?m . ?m <http://tgt/q> ?o", &mut it)
         .unwrap()
         .patterns;
+    let rhs2 = parse_bgp("?s <http://tgt/alt> ?o", &mut it)
+        .unwrap()
+        .patterns;
     let mut store = AlignmentStore::new();
     store.add_predicate(lhs, rhs).unwrap();
+    store.add_predicate(lhs, rhs2).unwrap(); // multi-match: UNION output
     let rw = IndexedRewriter::new(&store);
 
     let queries = [
         parse_query("SELECT * WHERE { ?a <http://src/p> ?b }", &mut it).unwrap(),
         parse_query(
-            "SELECT ?x WHERE { ?x <http://src/p> ?y . ?y <http://src/p> ?z }",
+            "SELECT ?x WHERE { ?x <http://src/p> ?y OPTIONAL { ?y <http://src/p> ?z } \
+             FILTER(?x != 4) }",
             &mut it,
         )
         .unwrap(),
@@ -488,10 +738,10 @@ fn rerewriting_output_skips_existing_fresh_counters() {
     let query = parse_bgp("?a <http://src/p> ?b", &mut it).unwrap();
     let stage1 = IndexedRewriter::new(&store).rewrite_bgp(&query);
     // stage1: ?a mid:p g0 . g0 mid:q ?b   (g0 = Fresh(0))
-    let stage2 = IndexedRewriter::new(&store2).rewrite_bgp(&stage1);
+    let stage2 = IndexedRewriter::new(&store2).rewrite_pattern(&stage1);
     // stage2 must mint existentials that do not collide with Fresh(0).
     let mut fresh: Vec<Term> = stage2
-        .patterns
+        .triples
         .iter()
         .flat_map(|tp| tp.terms())
         .filter(|t| t.is_fresh())
@@ -501,9 +751,9 @@ fn rerewriting_output_skips_existing_fresh_counters() {
     assert_eq!(fresh.len(), 2, "{stage2:?}");
     // The join structure survives: g0 appears in both the passthrough and
     // the expanded patterns, and the new existential differs from it.
-    assert_eq!(stage2.patterns.len(), 3);
-    assert_eq!(stage2.patterns[0].o, stage2.patterns[1].s);
-    assert_ne!(stage2.patterns[1].s, stage2.patterns[2].s);
+    assert_eq!(stage2.triples.len(), 3);
+    assert_eq!(stage2.triples[0].o, stage2.triples[1].s);
+    assert_ne!(stage2.triples[1].s, stage2.triples[2].s);
 }
 
 #[test]
@@ -524,11 +774,11 @@ fn fresh_vars_never_collide_with_g_named_query_vars_when_rendered() {
     // name, not ?g0/?g1.
     assert!(rendered.contains("?g2"), "{rendered}");
     let reparsed = parse_query(&rendered, &mut it).unwrap();
-    assert_eq!(reparsed.bgp.patterns.len(), 2);
+    assert_eq!(reparsed.pattern.triples.len(), 2);
     // Join variable is shared between the two reparsed patterns and is
     // distinct from the projected ?g0 and the original ?g1.
-    let join = reparsed.bgp.patterns[0].o;
-    assert_eq!(join, reparsed.bgp.patterns[1].s);
+    let join = reparsed.pattern.triples[0].o;
+    assert_eq!(join, reparsed.pattern.triples[1].s);
     assert_ne!(join, var(&mut it, "g0"));
     assert_ne!(join, var(&mut it, "g1"));
 }

@@ -1,8 +1,12 @@
 //! Round-trip serialization: parse → rewrite with an empty rule set →
 //! render must be idempotent, and rendered text must re-parse to the same
-//! structure.
+//! structure — including group graph patterns (nested groups, OPTIONAL,
+//! UNION, FILTER) and the xsd-typed sugar literals.
 
 use sparql_rewrite_core::{parse_query, AlignmentStore, IndexedRewriter, Interner, Rewriter};
+
+mod common;
+use common::{random_group_query_text, Rng};
 
 const QUERIES: &[&str] = &[
     "SELECT * WHERE { ?s ?p ?o }",
@@ -19,6 +23,18 @@ const QUERIES: &[&str] = &[
     "SELECT * WHERE { _:b <http://ex.org/p> ?v . ?v <http://ex.org/q> _:b }",
     // Bare group pattern without the WHERE keyword.
     "SELECT ?x { ?x <http://ex.org/p> <http://ex.org/o> }",
+    // Group graph patterns: OPTIONAL, UNION (binary and n-ary), FILTER,
+    // nesting, and the empty group.
+    "SELECT * WHERE { ?s <http://ex.org/p> ?o OPTIONAL { ?o <http://ex.org/q> ?r } }",
+    "SELECT * WHERE { { ?s <http://ex.org/p> ?o } UNION { ?s <http://ex.org/q> ?o } }",
+    "SELECT ?s WHERE { { ?s <http://a> 1 } UNION { ?s <http://b> 2.5 } UNION { ?s <http://c> true } }",
+    "SELECT * WHERE { ?s <http://ex.org/p> ?o . FILTER(?o > 3) }",
+    "SELECT * WHERE { ?s <http://ex.org/p> ?o \
+     FILTER(?o = <http://ex.org/X> || !(?o < 3) && ?s != \"x\"@en) }",
+    "SELECT * WHERE { ?a <http://p1> ?b OPTIONAL { ?b <http://p2> ?c \
+     { ?c <http://p3> ?d } UNION { ?c <http://p4> ?e FILTER(?e <= -7) } } ?f <http://p5> ?g }",
+    "SELECT * WHERE { }",
+    "SELECT * WHERE { OPTIONAL { } { } UNION { } }",
 ];
 
 #[test]
@@ -54,6 +70,29 @@ fn parse_rewrite_empty_render_is_idempotent() {
 }
 
 #[test]
+fn random_group_queries_round_trip() {
+    // Deterministic seeds through the shared generator: parse → display →
+    // parse must be structural identity and display → parse → display a
+    // textual fixpoint for arbitrarily nested OPTIONAL/UNION/FILTER shapes.
+    for seed in 1..=30u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let text = random_group_query_text(&mut rng);
+        let mut interner = Interner::new();
+        let parsed = parse_query(&text, &mut interner)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+        let rendered = parsed.display(&interner).to_string();
+        let reparsed = parse_query(&rendered, &mut interner)
+            .unwrap_or_else(|e| panic!("seed {seed}: re-parse failed: {e}\n{rendered}"));
+        assert_eq!(reparsed, parsed, "seed {seed}\n{text}\n---\n{rendered}");
+        assert_eq!(
+            reparsed.display(&interner).to_string(),
+            rendered,
+            "seed {seed}: rendering must be a fixpoint"
+        );
+    }
+}
+
+#[test]
 fn rendered_rewrite_reparses() {
     // A non-empty rewrite also renders to parseable SPARQL.
     let mut interner = Interner::new();
@@ -79,7 +118,7 @@ fn rendered_rewrite_reparses() {
     // Fresh existentials are structural (`TermKind::Fresh`); parsing their
     // rendered `?g{n}` names yields ordinary variables, so the invariant is
     // shape + textual fixpoint rather than term-for-term equality.
-    assert_eq!(reparsed.bgp.patterns.len(), 2);
+    assert_eq!(reparsed.pattern.triples.len(), 2);
     assert_eq!(reparsed.select, out.select);
     let rerendered = reparsed.display(&interner).to_string();
     assert_eq!(
@@ -94,15 +133,48 @@ fn rendered_rewrite_reparses() {
 }
 
 #[test]
+fn rendered_union_rewrite_reparses() {
+    // A multi-template rewrite renders UNION branches that re-parse to the
+    // same structure.
+    let mut interner = Interner::new();
+    let query = parse_query(
+        "SELECT * WHERE { ?x <http://src/p> ?y . ?y <http://keep/q> ?z }",
+        &mut interner,
+    )
+    .unwrap();
+    let mut store = AlignmentStore::new();
+    let lhs = sparql_rewrite_core::parse_bgp("?a <http://src/p> ?b", &mut interner)
+        .unwrap()
+        .patterns[0];
+    for tgt in ["one", "two", "three"] {
+        let rhs =
+            sparql_rewrite_core::parse_bgp(&format!("?a <http://tgt/{tgt}> ?b"), &mut interner)
+                .unwrap()
+                .patterns;
+        store.add_predicate(lhs, rhs).unwrap();
+    }
+    let out = IndexedRewriter::new(&store).rewrite_query(&query);
+    let rendered = out.display(&interner).to_string();
+    assert_eq!(rendered.matches("UNION").count(), 2, "{rendered}");
+    let reparsed = parse_query(&rendered, &mut interner).unwrap();
+    assert_eq!(reparsed.pattern, out.pattern);
+    assert_eq!(
+        reparsed.display(&interner).to_string(),
+        rendered,
+        "render → parse → render must be a fixpoint"
+    );
+}
+
+#[test]
 fn unsupported_constructs_error_cleanly() {
     let mut interner = Interner::new();
     for q in [
-        "SELECT * WHERE { ?s ?p ?o . OPTIONAL { ?s ?q ?r } }",
-        "SELECT * WHERE { { ?s ?p ?o } UNION { ?s ?q ?r } }",
-        "SELECT * WHERE { ?s ?p ?o . FILTER(?o > 3) }",
+        "SELECT * WHERE { GRAPH <http://g> { ?s ?p ?o } }",
+        "SELECT * WHERE { ?s ?p ?o . SERVICE <http://end> { ?s ?q ?r } }",
+        "SELECT * WHERE { ?s ?p ?o MINUS { ?s ?q ?r } }",
+        // UNION must follow a braced group.
+        "SELECT * WHERE { ?s ?p ?o UNION { ?s ?q ?r } }",
     ] {
-        // UNION appears after a nested group, which is itself unsupported —
-        // both must fail, never silently drop patterns.
         assert!(parse_query(q, &mut interner).is_err(), "accepted: {q}");
     }
     // Undeclared prefix.
@@ -124,7 +196,7 @@ fn datatype_qname_expands_to_full_iri() {
     )
     .unwrap();
     // QName and full-IRI spellings intern to the same literal symbol...
-    assert_eq!(q1.bgp.patterns[0].o, q2.bgp.patterns[0].o);
+    assert_eq!(q1.pattern.triples[0].o, q2.pattern.triples[0].o);
     // ...and the rendered form is prefix-free, so it re-parses standalone.
     let rendered = q1.display(&interner).to_string();
     assert!(
@@ -132,6 +204,28 @@ fn datatype_qname_expands_to_full_iri() {
         "{rendered}"
     );
     assert_eq!(parse_query(&rendered, &mut interner).unwrap(), q1);
+}
+
+#[test]
+fn bare_numeric_sugar_round_trips_via_typed_form() {
+    // `42` parses to the `"42"^^<xsd:integer>` literal, renders in that
+    // canonical quoted form, and the re-parse is the identity.
+    let mut interner = Interner::new();
+    let q = parse_query(
+        "SELECT * WHERE { ?s <http://p> 42 . ?s <http://q> -1.5 }",
+        &mut interner,
+    )
+    .unwrap();
+    let rendered = q.display(&interner).to_string();
+    assert!(
+        rendered.contains("\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("\"-1.5\"^^<http://www.w3.org/2001/XMLSchema#decimal>"),
+        "{rendered}"
+    );
+    assert_eq!(parse_query(&rendered, &mut interner).unwrap(), q);
 }
 
 #[test]
