@@ -47,6 +47,17 @@ impl Stats {
             iters_per_sample,
         }
     }
+
+    /// Nearest-rank percentile over the sorted samples, `p` in `(0, 100]`.
+    /// `percentile(50.0)` is the upper median; tail percentiles (90, 99)
+    /// are what the perf gates check so a config with a good median but a
+    /// fat tail still fails.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let n = self.samples_ns.len();
+        debug_assert!(n > 0 && p > 0.0 && p <= 100.0);
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples_ns[rank.clamp(1, n) - 1]
+    }
 }
 
 pub struct Bencher {
@@ -122,5 +133,24 @@ mod tests {
         assert!(stats.median_ns > 0.0);
         assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
         assert!(stats.samples_ns.len() >= 5);
+        // Percentiles are ordered and bounded by the extremes.
+        let (p50, p90, p99) = (
+            stats.percentile(50.0),
+            stats.percentile(90.0),
+            stats.percentile(99.0),
+        );
+        assert!(stats.min_ns <= p50 && p50 <= p90 && p90 <= p99 && p99 <= stats.max_ns);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let stats = Stats::from_samples((1..=100).map(|n| n as f64).collect(), 1);
+        assert_eq!(stats.percentile(50.0), 50.0);
+        assert_eq!(stats.percentile(90.0), 90.0);
+        assert_eq!(stats.percentile(99.0), 99.0);
+        assert_eq!(stats.percentile(100.0), 100.0);
+        let tiny = Stats::from_samples(vec![7.0], 1);
+        assert_eq!(tiny.percentile(50.0), 7.0);
+        assert_eq!(tiny.percentile(99.0), 7.0);
     }
 }

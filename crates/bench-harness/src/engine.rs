@@ -1,0 +1,208 @@
+//! End-to-end serve engine: the full **parse → rewrite → render** request
+//! pipeline over one shared, frozen rule set.
+//!
+//! This is the request-path shape the ROADMAP's north star asks for —
+//! "queries/sec served" as a first-class number, not just rewrite
+//! throughput. Per request the engine:
+//!
+//! 1. parses SPARQL text into a caller-owned [`ParseScratch`]
+//!    (worker-local interner — known strings resolve to their shared
+//!    symbols, novel strings get worker-private ids that can never alias a
+//!    rule symbol),
+//! 2. rewrites the borrowed parse via [`Rewriter::rewrite_ref_into`]
+//!    against the shared dense-indexed [`AlignmentStore`],
+//! 3. renders the rewritten query into a reusable output `String`.
+//!
+//! Every stage writes into reusable buffers, so a warm
+//! [`ServeEngine::serve`] call performs **zero heap allocations** — the
+//! bench harness gates on that, parser included.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sparql_rewrite_core::{
+    parse_query_into, render_query_into, AlignmentStore, IndexedRewriter, Interner, ParseError,
+    ParseScratch, QueryRef, RewriteScratch, Rewriter,
+};
+
+/// Shared, read-only serve state: the dense-indexed rule set plus the
+/// build-phase interner workers clone from.
+pub struct ServeEngine {
+    rewriter: IndexedRewriter<Arc<AlignmentStore>>,
+    /// Build-phase interner snapshot. Workers clone it so parsing can
+    /// intern novel strings without locks while every pre-existing symbol
+    /// stays identical to the rule set's.
+    base_interner: Interner,
+}
+
+/// Per-worker reusable state for [`ServeEngine::serve`]. All steady-state
+/// buffers live here; the engine itself is never mutated.
+pub struct ServeScratch {
+    interner: Interner,
+    parse: ParseScratch,
+    rewrite: RewriteScratch,
+    fresh_base: String,
+    out: String,
+}
+
+impl ServeEngine {
+    /// Freeze `store` (building its dense dispatch tables against
+    /// `interner`'s symbol bound) and take a snapshot of the interner for
+    /// worker clones.
+    pub fn new(mut store: AlignmentStore, interner: Interner) -> ServeEngine {
+        store.build_dense_index(interner.symbol_bound());
+        ServeEngine {
+            rewriter: IndexedRewriter::new(Arc::new(store)),
+            base_interner: interner,
+        }
+    }
+
+    /// A fresh worker scratch. Cloning the interner is the one deliberate
+    /// startup cost; after it, the worker shares nothing mutable.
+    pub fn scratch(&self) -> ServeScratch {
+        ServeScratch {
+            interner: self.base_interner.clone(),
+            parse: ParseScratch::new(),
+            rewrite: RewriteScratch::new(),
+            fresh_base: String::new(),
+            out: String::new(),
+        }
+    }
+
+    /// Serve one request: parse → rewrite → render. Returns the rewritten
+    /// query text, borrowed from the scratch's output buffer. Zero heap
+    /// allocations once the scratch (and its interner) are warm for the
+    /// request's vocabulary.
+    pub fn serve<'s>(
+        &self,
+        request: &str,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s str, ParseError> {
+        parse_query_into(request, &mut scratch.interner, &mut scratch.parse)?;
+        self.rewriter
+            .rewrite_ref_into(scratch.parse.query_ref(), &mut scratch.rewrite);
+        render_query_into(
+            QueryRef {
+                select: scratch.rewrite.select(),
+                pattern: scratch.rewrite.pattern(),
+            },
+            &scratch.interner,
+            &mut scratch.fresh_base,
+            &mut scratch.out,
+        );
+        Ok(&scratch.out)
+    }
+
+    /// Steady-state timed fan-out: split `requests` into `n_threads`
+    /// contiguous chunks, give each worker its own [`ServeScratch`], warm it
+    /// with one untimed pass, then loop `reps` times over the chunk.
+    /// Returns wall-clock time for the whole fan-out (spawn, interner
+    /// clones, and join included — amortize with `reps`).
+    pub fn timed_serve_run(&self, requests: &[String], n_threads: usize, reps: u32) -> Duration {
+        let chunk = requests.len().div_ceil(n_threads.max(1)).max(1);
+        let start = Instant::now();
+        thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let mut scratch = self.scratch();
+                        for q in slice {
+                            self.serve(q, &mut scratch).expect("workload parses");
+                        }
+                        for _ in 0..reps {
+                            for q in slice {
+                                let out = self.serve(q, &mut scratch).expect("workload parses");
+                                std::hint::black_box(out);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("serve worker panicked");
+            }
+        });
+        start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, WorkloadSpec};
+    use sparql_rewrite_core::parse_query;
+
+    fn engine_and_requests(group_shapes: bool) -> (ServeEngine, Vec<String>) {
+        let spec = WorkloadSpec {
+            n_rules: 300,
+            patterns_per_query: 8,
+            n_queries: 40,
+            seed: 0xcafe_f00d,
+            group_shapes,
+        };
+        let mut w = generate(&spec);
+        let requests = w.query_texts();
+        let engine = ServeEngine::new(
+            std::mem::take(&mut w.store),
+            std::mem::replace(&mut w.interner, Interner::new()),
+        );
+        (engine, requests)
+    }
+
+    #[test]
+    fn serve_matches_offline_rewrite() {
+        for group_shapes in [false, true] {
+            let (engine, requests) = engine_and_requests(group_shapes);
+            let mut scratch = engine.scratch();
+            let mut check_interner = engine.base_interner.clone();
+            for req in &requests {
+                let served = engine.serve(req, &mut scratch).unwrap().to_string();
+                // Ground truth: owned-type parse → rewrite → display.
+                let parsed = parse_query(req, &mut check_interner).unwrap();
+                let expected = engine
+                    .rewriter
+                    .rewrite_query(&parsed)
+                    .display(&check_interner)
+                    .to_string();
+                assert_eq!(served, expected, "request: {req}");
+                // The served text is valid SPARQL.
+                parse_query(&served, &mut check_interner).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn serve_is_deterministic_across_scratches() {
+        let (engine, requests) = engine_and_requests(true);
+        let mut a = engine.scratch();
+        let mut b = engine.scratch();
+        for req in &requests {
+            let one = engine.serve(req, &mut a).unwrap().to_string();
+            // Second scratch, repeated serves: same text.
+            let two = engine.serve(req, &mut b).unwrap().to_string();
+            let three = engine.serve(req, &mut b).unwrap().to_string();
+            assert_eq!(one, two);
+            assert_eq!(two, three);
+        }
+    }
+
+    #[test]
+    fn serve_reports_parse_errors() {
+        let (engine, _) = engine_and_requests(false);
+        let mut scratch = engine.scratch();
+        assert!(engine.serve("SELECT WHERE {", &mut scratch).is_err());
+        // And recovers on the next request.
+        assert!(engine
+            .serve("SELECT * WHERE { ?s ?p ?o }", &mut scratch)
+            .is_ok());
+    }
+
+    #[test]
+    fn timed_serve_run_smoke() {
+        let (engine, requests) = engine_and_requests(true);
+        let elapsed = engine.timed_serve_run(&requests, 2, 2);
+        assert!(elapsed > Duration::ZERO);
+    }
+}

@@ -123,10 +123,13 @@ mod tests {
             group_shapes: true,
         };
         let mut w = generate(&spec);
-        let store = Arc::new(std::mem::take(&mut w.store));
+        let mut store = std::mem::take(&mut w.store);
+        // Freeze into the dense direct-indexed dispatch tables, like the
+        // production serve path.
+        assert!(store.build_dense_index(w.interner.symbol_bound()));
         let interner = Arc::new(std::mem::replace(&mut w.interner, Interner::new()).freeze());
         (
-            BatchEngine::new(store, interner),
+            BatchEngine::new(Arc::new(store), interner),
             std::mem::take(&mut w.queries),
         )
     }

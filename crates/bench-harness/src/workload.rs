@@ -54,6 +54,17 @@ pub struct Workload {
     pub total_patterns: u64,
 }
 
+impl Workload {
+    /// Render every query back to SPARQL text — the request form the
+    /// end-to-end serve benchmarks feed the engine.
+    pub fn query_texts(&self) -> Vec<String> {
+        self.queries
+            .iter()
+            .map(|q| q.display(&self.interner).to_string())
+            .collect()
+    }
+}
+
 pub struct WorkloadSpec {
     pub n_rules: usize,
     pub patterns_per_query: usize,

@@ -1,4 +1,5 @@
-//! Ontology alignments and the hash-indexed alignment store.
+//! Ontology alignments and the alignment store with dense symbol-id
+//! rule dispatch.
 //!
 //! Following Correndo et al. (EDBT 2010), an alignment rule is either an
 //! **entity alignment** `e1 ≡ e2` (rewrite every occurrence of `e1` to `e2`)
@@ -11,16 +12,28 @@
 //! ```
 //!
 //! The hot path is "for each query triple pattern, find the rules that could
-//! apply", so the store keeps two hash indexes over the rule list:
-//! entity rules keyed by the raw source term, predicate rules keyed by the
-//! template's predicate symbol. Lookup is O(1) per triple pattern; the
-//! [`crate::rewriter::LinearRewriter`] ignores the indexes and scans the
+//! apply". During the build phase the store maintains two hash indexes over
+//! the rule list: entity rules keyed by the raw source term, predicate rules
+//! keyed by the template's predicate symbol. At freeze time,
+//! [`AlignmentStore::build_dense_index`] converts both into **dense
+//! direct-indexed tables** keyed by interner symbol id — the
+//! dictionary-encoded dispatch columnar SPARQL engines use: interner symbols
+//! are dense `u32`s, so "hash the key, probe, compare" collapses into a
+//! single bounds-checked array load. Entity targets and predicate posting-list
+//! offsets share one merged per-symbol dispatch record (entity targets in
+//! the concrete-kind lanes, CSR offsets in the otherwise-unused variable
+//! lane), and rule templates are pooled flat by rule id so applying a match
+//! never chases the rule list. When the symbol space is too sparse for dense
+//! tables to pay for themselves the store keeps the hash maps as the
+//! fallback path — lookups are correct either way, just slower.
+//!
+//! The [`crate::rewriter::LinearRewriter`] ignores every index and scans the
 //! rule list instead, as the benchmark baseline.
 
 use crate::fxhash::FxHashMap;
 use crate::pattern::TriplePattern;
 use crate::smallvec::SmallVec;
-use crate::term::{Symbol, Term};
+use crate::term::{Symbol, Term, SYM_MASK, TAG_SHIFT};
 
 /// One alignment rule. Stored in a flat `Vec`; rule ids are indices into it,
 /// and "first matching rule in id order wins" is the tie-break both
@@ -82,7 +95,76 @@ impl std::fmt::Display for AlignError {
 
 impl std::error::Error for AlignError {}
 
-/// Rule set plus hash indexes for O(1) per-pattern candidate lookup.
+/// Dense direct-indexed dispatch tables, built at freeze time from the hash
+/// indexes. Both tables are sized by the interner's
+/// [`symbol_bound`](crate::interner::Interner::symbol_bound), so a lookup is
+/// a bounds-checked array load with no hashing and no key comparison.
+#[derive(Debug)]
+struct DenseIndex {
+    /// Symbols this index was sized for. Terms carrying a later symbol (a
+    /// worker-local post-freeze intern) fall outside every table and
+    /// correctly resolve to "no rule".
+    symbol_bound: u32,
+    /// The merged dispatch table: one 16-byte record of four `u32` lanes per
+    /// symbol, `table[(symbol << 2) | lane]`, with `symbol_bound + 1`
+    /// records.
+    ///
+    /// * Lanes 0..=2 (the concrete term tags — IRI, literal, blank) hold
+    ///   the raw replacement term of the first entity rule for that source
+    ///   term, or [`NO_ENTITY`]. The lane is selected by the term's tag
+    ///   directly, so the slot is shift+or (no multiply), and one unsigned
+    ///   compare on the raw term excludes variables and fresh terms before
+    ///   any memory is touched.
+    /// * Lane 3 — the variable tag, which can never be an entity source —
+    ///   holds the CSR offset of the symbol's predicate posting list: the
+    ///   candidates for predicate symbol `s` are
+    ///   `pred_ids[table[(s << 2) | 3] .. table[((s + 1) << 2) | 3]]`, in
+    ///   rule-id order (hence the one extra record at the end).
+    ///
+    /// Packing the CSR offsets into the otherwise-wasted variable lane puts
+    /// a predicate's entity target and both posting-list offsets on the
+    /// same (or at worst the adjacent) cache line, so the per-pattern
+    /// predicate dispatch costs one line instead of three.
+    table: Box<[u32]>,
+    /// CSR payload: posting lists of predicate-rule ids, indexed by lane 3
+    /// of `table`.
+    pred_ids: Box<[u32]>,
+    /// Flat template pools indexed by **rule id**, so applying a matched
+    /// rule never touches the `Vec<Rule>` enum (48-byte entries behind a
+    /// pointer-chased `Vec<TriplePattern>` each): `tmpl_lhs[id]` is the
+    /// template's lhs, its rhs is
+    /// `rhs_pool[tmpl_rhs_off[id] .. tmpl_rhs_off[id + 1]]`. Entity-rule
+    /// ids hold a placeholder lhs and an empty rhs range; candidate lookup
+    /// only ever yields predicate ids.
+    tmpl_lhs: Box<[TriplePattern]>,
+    tmpl_rhs_off: Box<[u32]>,
+    rhs_pool: Box<[TriplePattern]>,
+}
+
+/// Vacant entity lane in [`DenseIndex::table`]. `u32::MAX` decodes as a
+/// [`crate::term::TermKind::Fresh`] term, which
+/// [`AlignmentStore::add_entity`] rejects, so no rule target can ever
+/// collide with the sentinel.
+const NO_ENTITY: u32 = u32::MAX;
+
+/// Number of concrete term kinds (IRI, literal, blank) the dense entity
+/// table maps; their tags are `0..KINDS`.
+const KINDS: usize = 3;
+
+/// Raw values at or above this are non-concrete: variables (tag 3) and
+/// fresh terms (tags 4..=7). Neither can be an entity-rule source or a
+/// template-predicate key, so one unsigned compare rejects both without
+/// touching memory.
+const CONCRETE_TAG_CEIL: u32 = (KINDS as u32) << TAG_SHIFT;
+
+/// Rule set plus candidate-lookup indexes.
+///
+/// Build phase: hash indexes (FxHash) are maintained incrementally by
+/// `add_*`. Freeze: [`AlignmentStore::build_dense_index`] lowers them into
+/// direct-indexed tables keyed by interner symbol id. Lookups transparently
+/// prefer the dense tables and fall back to the hash maps when they are
+/// absent (never built, declined as too sparse, or invalidated by a
+/// post-freeze `add_*`).
 #[derive(Default, Debug)]
 pub struct AlignmentStore {
     rules: Vec<Rule>,
@@ -93,6 +175,9 @@ pub struct AlignmentStore {
     /// Template predicate symbol → ids of predicate rules with that
     /// predicate, in insertion (= id) order.
     predicate_idx: FxHashMap<Symbol, SmallVec<u32, 4>>,
+    /// Frozen dense dispatch tables; `None` during the build phase and on
+    /// the sparse fallback path.
+    dense: Option<DenseIndex>,
 }
 
 impl AlignmentStore {
@@ -111,6 +196,10 @@ impl AlignmentStore {
         let id = self.next_id();
         self.rules.push(Rule::Entity { from, to });
         self.entity_idx.entry(from.raw()).or_insert(id);
+        // The dense tables are a frozen snapshot; a post-freeze rule load
+        // invalidates them and lookups revert to the hash fallback until
+        // the caller re-freezes.
+        self.dense = None;
         Ok(id)
     }
 
@@ -140,7 +229,129 @@ impl AlignmentStore {
             .or_default()
             .push(id);
         self.rules.push(Rule::Predicate { lhs, rhs });
+        self.dense = None;
         Ok(id)
+    }
+
+    /// Freeze the candidate indexes into dense direct-indexed tables sized
+    /// by `symbol_bound` (the interner's
+    /// [`symbol_bound`](crate::interner::Interner::symbol_bound) at freeze
+    /// time). Returns `true` when the dense tables were built, `false` when
+    /// the symbol space is too sparse relative to the rule count for a
+    /// direct-indexed table to pay for its memory, in which case the hash
+    /// indexes stay in service as the fallback path (lookups remain
+    /// correct, just hashed).
+    ///
+    /// Loading further rules after this call invalidates the dense tables;
+    /// call `build_dense_index` again once loading is done.
+    pub fn build_dense_index(&mut self, symbol_bound: usize) -> bool {
+        self.dense = None;
+        // Density heuristic: the tables cost ~16 bytes per symbol. Build
+        // them when the symbol space is small in absolute terms or within a
+        // constant factor of the rule count; a near-empty rule set over a
+        // huge dictionary keeps the hash fallback.
+        let worthwhile =
+            symbol_bound <= (1 << 16) || symbol_bound <= self.rules.len().saturating_mul(64);
+        if !worthwhile || symbol_bound > u32::MAX as usize {
+            return false;
+        }
+
+        // Every rule symbol must fall inside the bound, or dense lookups
+        // would silently diverge from the hash index.
+        assert!(
+            self.predicate_idx.keys().all(|s| s.index() < symbol_bound)
+                && self
+                    .entity_idx
+                    .keys()
+                    .all(|&raw| (Term::from_raw(raw).symbol().index()) < symbol_bound),
+            "build_dense_index: symbol_bound smaller than a rule symbol \
+             (freeze the interner after loading rules, not before)"
+        );
+
+        // One 4-lane record per symbol plus the end-of-CSR sentinel record.
+        let mut table = vec![NO_ENTITY; 4 * (symbol_bound + 1)].into_boxed_slice();
+        for (&raw, &id) in &self.entity_idx {
+            let from = Term::from_raw(raw);
+            debug_assert!(
+                (from.kind() as usize) < KINDS,
+                "entity sources are concrete"
+            );
+            let slot = (from.symbol().index() << 2) | from.kind() as usize;
+            let Rule::Entity { to, .. } = self.rules[id as usize] else {
+                unreachable!("entity index points at non-entity rule");
+            };
+            table[slot] = to.raw();
+        }
+
+        // CSR build into lane 3: count per symbol, prefix-sum, then fill in
+        // rule-id order so each posting list preserves the hash index's
+        // ordering.
+        let lane3 = |sym: usize| (sym << 2) | 3;
+        // Scatter per-symbol counts into lane 3 (one pass over the rule
+        // index, not one hash probe per dictionary symbol), then prefix-sum
+        // in place.
+        for sym in 0..=symbol_bound {
+            table[lane3(sym)] = 0;
+        }
+        for (sym, ids) in &self.predicate_idx {
+            table[lane3(sym.index() + 1)] = ids.len() as u32;
+        }
+        for sym in 1..=symbol_bound {
+            table[lane3(sym)] += table[lane3(sym - 1)];
+        }
+        let total = table[lane3(symbol_bound)] as usize;
+        let mut pred_ids = vec![0u32; total].into_boxed_slice();
+        for (sym, ids) in &self.predicate_idx {
+            let start = table[lane3(sym.index())] as usize;
+            pred_ids[start..start + ids.len()].copy_from_slice(ids.as_slice());
+        }
+
+        // Flat template pools by rule id.
+        let placeholder = TriplePattern::new(Term::fresh(0), Term::fresh(0), Term::fresh(0));
+        let mut tmpl_lhs = vec![placeholder; self.rules.len()].into_boxed_slice();
+        let mut tmpl_rhs_off = vec![0u32; self.rules.len() + 1];
+        let mut rhs_pool = Vec::new();
+        for (id, rule) in self.rules.iter().enumerate() {
+            if let Rule::Predicate { lhs, rhs } = rule {
+                tmpl_lhs[id] = *lhs;
+                rhs_pool.extend_from_slice(rhs);
+            }
+            tmpl_rhs_off[id + 1] = rhs_pool.len() as u32;
+        }
+
+        self.dense = Some(DenseIndex {
+            symbol_bound: symbol_bound as u32,
+            table,
+            pred_ids,
+            tmpl_lhs,
+            tmpl_rhs_off: tmpl_rhs_off.into_boxed_slice(),
+            rhs_pool: rhs_pool.into_boxed_slice(),
+        });
+        true
+    }
+
+    /// The lhs/rhs templates of predicate rule `id`. Only meaningful for
+    /// ids yielded by [`AlignmentStore::predicate_candidates`] (or an
+    /// equivalent scan); on the dense path this reads the flat template
+    /// pools and never touches the rule list.
+    #[inline]
+    pub fn template(&self, id: u32) -> (TriplePattern, &[TriplePattern]) {
+        if let Some(dense) = &self.dense {
+            let lhs = dense.tmpl_lhs[id as usize];
+            let start = dense.tmpl_rhs_off[id as usize] as usize;
+            let end = dense.tmpl_rhs_off[id as usize + 1] as usize;
+            return (lhs, &dense.rhs_pool[start..end]);
+        }
+        match &self.rules[id as usize] {
+            Rule::Predicate { lhs, rhs } => (*lhs, rhs),
+            _ => unreachable!("template id points at a non-predicate rule"),
+        }
+    }
+
+    /// Whether lookups currently run on the dense direct-indexed tables
+    /// (vs. the hash fallback).
+    pub fn has_dense_index(&self) -> bool {
+        self.dense.is_some()
     }
 
     fn next_id(&self) -> u32 {
@@ -161,9 +372,35 @@ impl AlignmentStore {
     }
 
     /// Indexed entity lookup: the replacement for `t`, if any entity rule
-    /// rewrites it.
+    /// rewrites it. On the dense path this is a tag check plus one array
+    /// load; variables and fresh terms short-circuit without touching
+    /// memory, and a symbol minted after the freeze falls outside the table
+    /// bounds (no rule can mention it).
     #[inline]
     pub fn entity_target(&self, t: Term) -> Option<Term> {
+        if let Some(dense) = &self.dense {
+            let raw = t.raw();
+            // Variables and fresh terms can never be entity-rule sources:
+            // one compare, no memory touched (this is the common case —
+            // most subject/object positions are variables).
+            if raw >= CONCRETE_TAG_CEIL {
+                return None;
+            }
+            // slot = (symbol << 2) | tag, always an entity lane (tag ≤ 2).
+            // A post-freeze symbol is rejected by the explicit bound check
+            // (the sentinel record at the end means the slice check alone
+            // is not tight enough).
+            let sym = (raw & SYM_MASK) as usize;
+            if sym >= dense.symbol_bound as usize {
+                return None;
+            }
+            let to = dense.table[sym << 2 | (raw >> TAG_SHIFT) as usize];
+            return if to != NO_ENTITY {
+                Some(Term::from_raw(to))
+            } else {
+                None
+            };
+        }
         let &id = self.entity_idx.get(&t.raw())?;
         match &self.rules[id as usize] {
             Rule::Entity { to, .. } => Some(*to),
@@ -174,13 +411,28 @@ impl AlignmentStore {
     /// Indexed predicate-rule candidates for a pattern whose predicate is
     /// `p`, in rule-id order. Variables never match (templates must have
     /// concrete predicates, so a variable predicate in the query can only be
-    /// entity-rewritten, never template-expanded).
+    /// entity-rewritten, never template-expanded). On the dense path this is
+    /// two adjacent offset loads and a slice.
     #[inline]
     pub fn predicate_candidates(&self, p: Term) -> &[u32] {
-        // A fresh predicate carries a counter, not a symbol — it must never
-        // alias a real predicate symbol in the index.
-        if p.is_var() || p.is_fresh() {
+        // A variable predicate never matches a template (templates have
+        // concrete predicates), and a fresh predicate carries a counter,
+        // not a symbol — it must never alias a real predicate symbol in
+        // the index. One compare covers both.
+        if p.raw() >= CONCRETE_TAG_CEIL {
             return &[];
+        }
+        if let Some(dense) = &self.dense {
+            let sym = p.symbol().index();
+            if sym >= dense.symbol_bound as usize {
+                return &[];
+            }
+            // CSR offsets live in lane 3 of the symbol's (and the next
+            // symbol's) dispatch record — usually the same cache line the
+            // entity lookup for this predicate just touched.
+            let start = dense.table[sym << 2 | 3] as usize;
+            let end = dense.table[(sym + 1) << 2 | 3] as usize;
+            return &dense.pred_ids[start..end];
         }
         self.predicate_idx
             .get(&p.symbol())
@@ -232,6 +484,110 @@ mod tests {
             store.add_predicate(lhs, vec![]),
             Err(AlignError::EmptyTemplate)
         );
+    }
+
+    #[test]
+    fn dense_index_agrees_with_hash_index() {
+        let mut it = Interner::new();
+        let v = var(&mut it, "x");
+        let mut store = AlignmentStore::new();
+        let mut preds = Vec::new();
+        let mut ents = Vec::new();
+        for i in 0..40 {
+            let p = iri(&mut it, &format!("http://src/p{i}"));
+            let q = iri(&mut it, &format!("http://tgt/p{i}"));
+            preds.push(p);
+            if i % 3 == 0 {
+                let lhs = TriplePattern::new(v, p, v);
+                store
+                    .add_predicate(lhs, vec![TriplePattern::new(v, q, v)])
+                    .unwrap();
+                if i % 6 == 0 {
+                    // Second template on the same predicate: posting lists
+                    // longer than one entry.
+                    store
+                        .add_predicate(lhs, vec![TriplePattern::new(v, q, v)])
+                        .unwrap();
+                }
+            }
+            if i % 4 == 0 {
+                let e = iri(&mut it, &format!("http://src/e{i}"));
+                let t = iri(&mut it, &format!("http://tgt/e{i}"));
+                ents.push(e);
+                store.add_entity(e, t).unwrap();
+            }
+        }
+        // Snapshot every lookup on the hash path, then freeze and compare.
+        let probe_terms: Vec<Term> = preds
+            .iter()
+            .chain(ents.iter())
+            .copied()
+            .chain([v, Term::literal(it.intern("\"x\"")), Term::fresh(3)])
+            .collect();
+        let hash_entities: Vec<Option<Term>> = probe_terms
+            .iter()
+            .map(|&t| store.entity_target(t))
+            .collect();
+        let hash_preds: Vec<Vec<u32>> = probe_terms
+            .iter()
+            .map(|&t| store.predicate_candidates(t).to_vec())
+            .collect();
+
+        assert!(!store.has_dense_index());
+        assert!(store.build_dense_index(it.symbol_bound()));
+        assert!(store.has_dense_index());
+        for (i, &t) in probe_terms.iter().enumerate() {
+            assert_eq!(store.entity_target(t), hash_entities[i], "term {t:?}");
+            assert_eq!(
+                store.predicate_candidates(t),
+                &hash_preds[i][..],
+                "term {t:?}"
+            );
+        }
+
+        // A symbol minted after the freeze is outside every table: no rule.
+        let late = iri(&mut it, "http://late/interned");
+        assert_eq!(store.entity_target(late), None);
+        assert_eq!(store.predicate_candidates(late), &[] as &[u32]);
+
+        // Loading another rule invalidates the dense tables (hash fallback
+        // stays correct) until the caller re-freezes.
+        let lhs = TriplePattern::new(v, late, v);
+        store.add_predicate(lhs, vec![lhs]).unwrap();
+        assert!(!store.has_dense_index());
+        assert_eq!(store.predicate_candidates(late).len(), 1);
+        assert!(store.build_dense_index(it.symbol_bound()));
+        assert_eq!(store.predicate_candidates(late).len(), 1);
+    }
+
+    #[test]
+    fn sparse_symbol_space_keeps_hash_fallback() {
+        let mut it = Interner::new();
+        let a = iri(&mut it, "http://a");
+        let b = iri(&mut it, "http://b");
+        let mut store = AlignmentStore::new();
+        store.add_entity(a, b).unwrap();
+        // One rule over a pretend multi-million-symbol dictionary: the
+        // density heuristic must decline and lookups keep working.
+        assert!(!store.build_dense_index(50_000_000));
+        assert!(!store.has_dense_index());
+        assert_eq!(store.entity_target(a), Some(b));
+    }
+
+    #[test]
+    fn dense_entity_kinds_do_not_alias() {
+        // An IRI and a literal sharing one interner symbol must stay
+        // distinct keys in the kind-major table.
+        let mut it = Interner::new();
+        let sym = it.intern("shared-spelling");
+        let as_iri = Term::iri(sym);
+        let as_lit = Term::literal(sym);
+        let tgt = iri(&mut it, "http://tgt");
+        let mut store = AlignmentStore::new();
+        store.add_entity(as_iri, tgt).unwrap();
+        assert!(store.build_dense_index(it.symbol_bound()));
+        assert_eq!(store.entity_target(as_iri), Some(tgt));
+        assert_eq!(store.entity_target(as_lit), None);
     }
 
     #[test]

@@ -26,24 +26,63 @@ pub trait Resolve {
     fn resolve(&self, sym: Symbol) -> &str;
 }
 
-const EMPTY: u32 = u32::MAX;
+/// Vacant table slot. Slots pack `(hash_tag << 32) | symbol_id`; a symbol
+/// id of `u32::MAX` is unreachable (the interner asserts ids ≤ 2^29), so
+/// `u64::MAX` cannot collide with a live entry.
+const EMPTY: u64 = u64::MAX;
+
+/// Pack a table slot: the top 32 bits of the (folded) hash as a tag, the
+/// symbol id below. Probes compare the tag before touching the candidate's
+/// string, so a probe chain costs one cache line per step instead of a
+/// string comparison per step.
+#[inline]
+fn slot_entry(hash: u64, id: u32) -> u64 {
+    (hash & 0xffff_ffff_0000_0000) | id as u64
+}
+
+#[inline]
+fn slot_id(entry: u64) -> u32 {
+    entry as u32
+}
+
+#[inline]
+fn slot_tag_matches(entry: u64, hash: u64) -> bool {
+    (entry ^ hash) & 0xffff_ffff_0000_0000 == 0
+}
 
 #[inline]
 fn hash_str(s: &str) -> u64 {
     let mut h = FxHasher::default();
     h.write(s.as_bytes());
-    h.finish()
+    let h = h.finish();
+    // Fx's final step is a multiply, which drives its entropy into the
+    // *high* bits; this table indexes with the *low* bits (`& mask`).
+    // Without folding the halves together, IRI sets that differ only in a
+    // short suffix (p0..pN vocabularies — exactly what alignment workloads
+    // look like) cluster into long linear-probe chains and a warm intern
+    // hit costs ~25 probes instead of ~1.
+    h ^ (h >> 32)
 }
 
 /// Append-only string interner. Symbols are dense indices starting at 0.
-#[derive(Default, Debug)]
+///
+/// `Clone` is deliberate: a serve-phase worker that must parse *new* query
+/// text (which can mention strings the build phase never saw) clones the
+/// build-phase interner once and interns worker-locally. Every pre-existing
+/// symbol keeps its id in the clone, so terms stay comparable against the
+/// shared rule set, while post-clone symbols (ids ≥ the clone point's
+/// [`Interner::symbol_bound`]) are private to that worker and can never
+/// alias a rule symbol.
+#[derive(Default, Debug, Clone)]
 pub struct Interner {
     /// The single owned copy of each interned string, indexed by symbol.
     strings: Vec<Box<str>>,
-    /// Open-addressing table of symbol indices (`EMPTY` = vacant), sized to
-    /// a power of two. Probing rehashes the candidate's string on compare,
-    /// so no second copy of any key is stored.
-    table: Vec<u32>,
+    /// Open-addressing table of `(hash_tag, symbol_id)` slots (`EMPTY` =
+    /// vacant), sized to a power of two. A probe compares the 32-bit hash
+    /// tag first and only rehashes the candidate's string on a tag match,
+    /// so no second copy of any key is stored and false probes never touch
+    /// the string heap.
+    table: Vec<u64>,
 }
 
 impl Interner {
@@ -58,18 +97,19 @@ impl Interner {
             self.grow();
         }
         let mask = self.table.len() - 1;
-        let mut i = hash_str(s) as usize & mask;
+        let hash = hash_str(s);
+        let mut i = hash as usize & mask;
         loop {
             let slot = self.table[i];
             if slot == EMPTY {
                 let id = u32::try_from(self.strings.len()).expect("interner overflow");
                 assert!(id <= Symbol::MAX, "interner exceeded 2^29 symbols");
                 self.strings.push(s.into());
-                self.table[i] = id;
+                self.table[i] = slot_entry(hash, id);
                 return Symbol(id);
             }
-            if &*self.strings[slot as usize] == s {
-                return Symbol(slot);
+            if slot_tag_matches(slot, hash) && &*self.strings[slot_id(slot) as usize] == s {
+                return Symbol(slot_id(slot));
             }
             i = (i + 1) & mask;
         }
@@ -80,11 +120,12 @@ impl Interner {
         let mask = new_cap - 1;
         let mut table = vec![EMPTY; new_cap];
         for (id, s) in self.strings.iter().enumerate() {
-            let mut i = hash_str(s) as usize & mask;
+            let hash = hash_str(s);
+            let mut i = hash as usize & mask;
             while table[i] != EMPTY {
                 i = (i + 1) & mask;
             }
-            table[i] = id as u32;
+            table[i] = slot_entry(hash, id as u32);
         }
         self.table = table;
     }
@@ -104,6 +145,15 @@ impl Interner {
         self.strings.len()
     }
 
+    /// Exclusive upper bound on every symbol id minted so far: symbols are
+    /// dense indices `0..symbol_bound()`. This is the size a direct-indexed
+    /// (dense) table keyed by symbol id needs — see
+    /// [`crate::align::AlignmentStore::build_dense_index`].
+    #[inline]
+    pub fn symbol_bound(&self) -> usize {
+        self.strings.len()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
     }
@@ -119,19 +169,20 @@ impl Interner {
     }
 }
 
-fn lookup(table: &[u32], strings: &[Box<str>], s: &str) -> Option<Symbol> {
+fn lookup(table: &[u64], strings: &[Box<str>], s: &str) -> Option<Symbol> {
     if table.is_empty() {
         return None;
     }
     let mask = table.len() - 1;
-    let mut i = hash_str(s) as usize & mask;
+    let hash = hash_str(s);
+    let mut i = hash as usize & mask;
     loop {
         let slot = table[i];
         if slot == EMPTY {
             return None;
         }
-        if &*strings[slot as usize] == s {
-            return Some(Symbol(slot));
+        if slot_tag_matches(slot, hash) && &*strings[slot_id(slot) as usize] == s {
+            return Some(Symbol(slot_id(slot)));
         }
         i = (i + 1) & mask;
     }
@@ -144,7 +195,7 @@ fn lookup(table: &[u32], strings: &[Box<str>], s: &str) -> Option<Symbol> {
 #[derive(Debug)]
 pub struct FrozenInterner {
     strings: Box<[Box<str>]>,
-    table: Box<[u32]>,
+    table: Box<[u64]>,
 }
 
 impl FrozenInterner {
@@ -160,6 +211,13 @@ impl FrozenInterner {
     }
 
     pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Exclusive upper bound on every symbol id this interner can resolve;
+    /// see [`Interner::symbol_bound`].
+    #[inline]
+    pub fn symbol_bound(&self) -> usize {
         self.strings.len()
     }
 

@@ -17,11 +17,18 @@
 //!   values — no per-node boxing, so a whole rewritten tree fits in
 //!   reusable scratch buffers.
 //! * [`parser`] tokenizes without allocating — input slices are borrowed
-//!   until intern time.
-//! * [`align::AlignmentStore`] indexes rules by term/predicate symbol in
-//!   hash maps with [`fxhash`], so candidate lookup is O(1) per triple
-//!   pattern; [`rewriter::LinearRewriter`] is the O(rules) baseline kept
-//!   behind the same [`rewriter::Rewriter`] trait for benchmarking.
+//!   until intern time — and [`parser::parse_query_into`] writes into a
+//!   caller-owned [`parser::ParseScratch`], so steady-state parsing (every
+//!   string already interned) performs zero heap allocations.
+//! * [`align::AlignmentStore`] maintains FxHash rule indexes during the
+//!   build phase and lowers them into **dense direct-indexed tables** keyed
+//!   by interner symbol id at freeze time
+//!   ([`align::AlignmentStore::build_dense_index`], sized by
+//!   [`interner::Interner::symbol_bound`]): candidate lookup per triple
+//!   pattern is then a bounds-checked array load, no hashing at all, with
+//!   the hash maps kept as the sparse-dictionary fallback.
+//!   [`rewriter::LinearRewriter`] is the O(rules) baseline kept behind the
+//!   same [`rewriter::Rewriter`] trait for benchmarking.
 //! * [`rewriter`] applies entity alignments (inside FILTER expressions
 //!   too) and expands a triple pattern matched by N predicate templates
 //!   into an N-branch UNION — the paper's union semantics — recursively
@@ -35,7 +42,12 @@
 //! template-introduced existentials are structural
 //! [`term::TermKind::Fresh`] terms (no interning on the hot path). With a
 //! caller-owned [`rewriter::RewriteScratch`], steady-state
-//! `rewrite_query_into` performs zero heap allocations.
+//! `rewrite_query_into` performs zero heap allocations — and the whole
+//! **serve pipeline** composes the same way: [`parser::parse_query_into`]
+//! (into a [`parser::ParseScratch`]) → [`rewriter::Rewriter::
+//! rewrite_ref_into`] (borrowing the parse via [`pattern::QueryRef`]) →
+//! [`pattern::render_query_into`] (into a reusable `String`), zero
+//! steady-state allocations end to end.
 //!
 //! See the workspace README for the paper's rewriting model and
 //! `crates/bench-harness` for the measurement harness and the
@@ -53,10 +65,10 @@ pub mod term;
 
 pub use align::{AlignError, AlignmentStore, Rule};
 pub use interner::{FrozenInterner, Interner, Resolve};
-pub use parser::{parse_bgp, parse_query, ParseError};
+pub use parser::{parse_bgp, parse_query, parse_query_into, ParseError, ParseScratch};
 pub use pattern::{
-    Bgp, ChainBuilder, CmpOp, ExprNode, GroupPattern, PatternNode, Query, SelectList,
-    TriplePattern, NO_NODE,
+    render_query_into, Bgp, ChainBuilder, CmpOp, ExprNode, GroupPattern, PatternNode, Query,
+    QueryRef, SelectList, TriplePattern, NO_NODE,
 };
 pub use rewriter::{IndexedRewriter, LinearRewriter, RewriteScratch, Rewriter};
 pub use term::{Symbol, Term, TermKind};

@@ -32,10 +32,10 @@
 
 use std::fmt;
 
-use crate::fxhash::FxHashMap;
 use crate::interner::Interner;
 use crate::pattern::{
-    Bgp, ChainBuilder, CmpOp, ExprNode, GroupPattern, PatternNode, Query, SelectList, TriplePattern,
+    Bgp, ChainBuilder, CmpOp, ExprNode, GroupPattern, PatternNode, Query, QueryRef, SelectList,
+    TriplePattern,
 };
 use crate::term::Term;
 
@@ -412,33 +412,138 @@ fn is_iri_byte(c: u8) -> bool {
         ))
 }
 
-/// Parser state: a tokenizer with one token of lookahead, the PREFIX table
-/// (maps prefix name without the colon to its expansion), and the interner
+/// One `PREFIX name: <iri>` declaration as byte spans into the input. The
+/// table lives in a caller-owned [`ParseScratch`] so re-parsing reuses its
+/// capacity; spans (not borrowed `&str`s) keep the scratch free of the
+/// input's lifetime.
+#[derive(Copy, Clone, Debug)]
+struct PrefixSpan {
+    name_start: u32,
+    name_end: u32,
+    iri_start: u32,
+    iri_end: u32,
+}
+
+/// Caller-owned scratch for allocation-free parsing.
+///
+/// Holds every buffer the parser needs per query — the output group-pattern
+/// tree, the projection, the PREFIX table, and the QName-expansion string —
+/// so a warm [`parse_query_into`] call performs **zero heap allocations**
+/// provided every string in the query has been interned before (the
+/// steady-state of a serve loop, where the first pass over a workload warms
+/// both the scratch and the interner).
+#[derive(Default, Debug)]
+pub struct ParseScratch {
+    pattern: GroupPattern,
+    select: Vec<Term>,
+    select_star: bool,
+    prefixes: Vec<PrefixSpan>,
+    expand_buf: String,
+}
+
+impl ParseScratch {
+    pub fn new() -> ParseScratch {
+        ParseScratch::default()
+    }
+
+    /// The group pattern of the last [`parse_query_into`] call. Only
+    /// meaningful when that call returned `Ok`: a failed parse leaves the
+    /// buffers cleared or partially written, never the previous query.
+    #[inline]
+    pub fn pattern(&self) -> &GroupPattern {
+        &self.pattern
+    }
+
+    /// Projection of the last parse: `None` for `SELECT *`, otherwise the
+    /// projected variables. Like [`ParseScratch::pattern`], only meaningful
+    /// after an `Ok` parse.
+    #[inline]
+    pub fn select(&self) -> Option<&[Term]> {
+        if self.select_star {
+            None
+        } else {
+            Some(&self.select)
+        }
+    }
+
+    /// Borrowed query view over the last parse — hand this to
+    /// [`crate::rewriter::Rewriter::rewrite_ref_into`] without assembling an
+    /// owned [`Query`].
+    #[inline]
+    pub fn query_ref(&self) -> QueryRef<'_> {
+        QueryRef {
+            select: self.select(),
+            pattern: &self.pattern,
+        }
+    }
+
+    /// Move the last parse out as an owned [`Query`], leaving empty (but
+    /// deallocated) buffers behind. Build-phase convenience; the serve loop
+    /// uses [`ParseScratch::query_ref`] instead.
+    fn into_query(self) -> Query {
+        Query {
+            select: if self.select_star {
+                SelectList::Star
+            } else {
+                SelectList::Vars(self.select)
+            },
+            pattern: self.pattern,
+        }
+    }
+}
+
+/// Parser state: a tokenizer with one token of lookahead, plus the
+/// scratch-owned PREFIX table and QName-expansion buffer, and the interner
 /// terms are minted into.
-pub struct Parser<'a, 'i> {
+struct Parser<'a, 'i, 'p> {
     tok: Tokenizer<'a>,
     /// One token of lookahead plus the byte offset it started at.
     peeked: Option<(Token<'a>, usize)>,
     /// Start offset of the most recently observed token (consumed *or*
     /// peeked) — the position parser-level errors report.
     err_off: usize,
-    prefixes: FxHashMap<&'a str, &'a str>,
+    prefixes: &'p mut Vec<PrefixSpan>,
     interner: &'i mut Interner,
     // Scratch buffer reused for every QName expansion to avoid a fresh
     // allocation per term.
-    expand_buf: String,
+    expand_buf: &'p mut String,
 }
 
-impl<'a, 'i> Parser<'a, 'i> {
-    pub fn new(input: &'a str, interner: &'i mut Interner) -> Parser<'a, 'i> {
+impl<'a, 'i, 'p> Parser<'a, 'i, 'p> {
+    fn new(
+        input: &'a str,
+        interner: &'i mut Interner,
+        prefixes: &'p mut Vec<PrefixSpan>,
+        expand_buf: &'p mut String,
+    ) -> Parser<'a, 'i, 'p> {
+        prefixes.clear();
         Parser {
             tok: Tokenizer::new(input),
             peeked: None,
             err_off: 0,
-            prefixes: FxHashMap::default(),
+            prefixes,
             interner,
-            expand_buf: String::new(),
+            expand_buf,
         }
+    }
+
+    /// Byte span of `s` within the input. `s` must be a subslice of the
+    /// tokenizer's input (every token text is).
+    #[inline]
+    fn span_of(&self, s: &str) -> (u32, u32) {
+        let base = self.tok.input.as_ptr() as usize;
+        let start = s.as_ptr() as usize - base;
+        (start as u32, (start + s.len()) as u32)
+    }
+
+    /// Expansion IRI for `prefix`, if declared. Later declarations shadow
+    /// earlier ones (scan in reverse), matching SPARQL prologue semantics.
+    fn lookup_prefix(&self, prefix: &str) -> Option<&'a str> {
+        let input = self.tok.input;
+        self.prefixes.iter().rev().find_map(|p| {
+            let name = &input[p.name_start as usize..p.name_end as usize];
+            (name == prefix).then(|| &input[p.iri_start as usize..p.iri_end as usize])
+        })
     }
 
     fn next_token(&mut self) -> Result<Option<Token<'a>>, ParseError> {
@@ -480,13 +585,13 @@ impl<'a, 'i> Parser<'a, 'i> {
     fn intern_qname(&mut self, qname: &str) -> Result<Term, ParseError> {
         let colon = qname.find(':').expect("tokenizer guarantees a colon");
         let (prefix, local) = (&qname[..colon], &qname[colon + 1..]);
-        let Some(base) = self.prefixes.get(prefix) else {
+        let Some(base) = self.lookup_prefix(prefix) else {
             return Err(self.err(format!("undeclared prefix '{prefix}:'")));
         };
         self.expand_buf.clear();
         self.expand_buf.push_str(base);
         self.expand_buf.push_str(local);
-        Ok(Term::iri(self.interner.intern(&self.expand_buf)))
+        Ok(Term::iri(self.interner.intern(self.expand_buf)))
     }
 
     /// Intern a literal, canonicalizing a `^^prefix:local` datatype to
@@ -505,7 +610,7 @@ impl<'a, 'i> Parser<'a, 'i> {
                 for b in tag.bytes() {
                     self.expand_buf.push(b.to_ascii_lowercase() as char);
                 }
-                return Ok(Term::literal(self.interner.intern(&self.expand_buf)));
+                return Ok(Term::literal(self.interner.intern(self.expand_buf)));
             }
         } else if let Some(dtype) = suffix.strip_prefix("^^") {
             if !dtype.starts_with('<') {
@@ -513,7 +618,7 @@ impl<'a, 'i> Parser<'a, 'i> {
                     .find(':')
                     .ok_or_else(|| self.err("datatype QName missing ':'"))?;
                 let (prefix, local) = (&dtype[..colon], &dtype[colon + 1..]);
-                let Some(&base) = self.prefixes.get(prefix) else {
+                let Some(base) = self.lookup_prefix(prefix) else {
                     return Err(self.err(format!("undeclared prefix '{prefix}:'")));
                 };
                 self.expand_buf.clear();
@@ -522,7 +627,7 @@ impl<'a, 'i> Parser<'a, 'i> {
                 self.expand_buf.push_str(base);
                 self.expand_buf.push_str(local);
                 self.expand_buf.push('>');
-                return Ok(Term::literal(self.interner.intern(&self.expand_buf)));
+                return Ok(Term::literal(self.interner.intern(self.expand_buf)));
             }
         }
         Ok(Term::literal(self.interner.intern(lit)))
@@ -538,7 +643,7 @@ impl<'a, 'i> Parser<'a, 'i> {
         self.expand_buf.push_str("\"^^<");
         self.expand_buf.push_str(datatype);
         self.expand_buf.push('>');
-        Term::literal(self.interner.intern(&self.expand_buf))
+        Term::literal(self.interner.intern(self.expand_buf))
     }
 
     fn parse_term(&mut self, tok: Token<'a>, position: &str) -> Result<Term, ParseError> {
@@ -578,12 +683,22 @@ impl<'a, 'i> Parser<'a, 'i> {
             let Token::IriRef(iri) = self.expect("IRI after prefix name")? else {
                 return Err(self.err("expected <IRI> after prefix name"));
             };
-            self.prefixes.insert(&q[..q.len() - 1], iri);
+            let (name_start, name_end) = self.span_of(&q[..q.len() - 1]);
+            let (iri_start, iri_end) = self.span_of(iri);
+            self.prefixes.push(PrefixSpan {
+                name_start,
+                name_end,
+                iri_start,
+                iri_end,
+            });
         }
         Ok(())
     }
 
-    fn parse_select(&mut self) -> Result<SelectList, ParseError> {
+    /// Parse the projection into `vars` (cleared first); returns `true` for
+    /// `SELECT *`.
+    fn parse_select(&mut self, vars: &mut Vec<Term>) -> Result<bool, ParseError> {
+        vars.clear();
         match self.expect("SELECT")? {
             Token::Word(w) if w.eq_ignore_ascii_case("SELECT") => {}
             other => return Err(self.err(format!("expected SELECT, found {other:?}"))),
@@ -591,10 +706,9 @@ impl<'a, 'i> Parser<'a, 'i> {
         match self.peek()? {
             Some(Token::Word("*")) => {
                 self.next_token()?;
-                Ok(SelectList::Star)
+                Ok(true)
             }
             _ => {
-                let mut vars = Vec::new();
                 while let Some(Token::Var(v)) = self.peek()? {
                     self.next_token()?;
                     vars.push(Term::var(self.interner.intern(v)));
@@ -602,7 +716,7 @@ impl<'a, 'i> Parser<'a, 'i> {
                 if vars.is_empty() {
                     return Err(self.err("SELECT needs '*' or at least one variable"));
                 }
-                Ok(SelectList::Vars(vars))
+                Ok(false)
             }
         }
     }
@@ -839,9 +953,15 @@ impl<'a, 'i> Parser<'a, 'i> {
         Ok(())
     }
 
-    pub fn parse_query(&mut self) -> Result<Query, ParseError> {
+    /// Full-query grammar, writing the projection into `select` (star flag
+    /// returned) and the pattern into `pattern`.
+    fn parse_query_body(
+        &mut self,
+        select: &mut Vec<Term>,
+        pattern: &mut GroupPattern,
+    ) -> Result<bool, ParseError> {
         self.parse_prologue()?;
-        let select = self.parse_select()?;
+        let star = self.parse_select(select)?;
         match self.expect("WHERE")? {
             Token::Word(w) if w.eq_ignore_ascii_case("WHERE") => {}
             // Bare `{ ... }` without the WHERE keyword is legal SPARQL.
@@ -850,18 +970,45 @@ impl<'a, 'i> Parser<'a, 'i> {
             }
             other => return Err(self.err(format!("expected WHERE, found {other:?}"))),
         }
-        let mut pattern = GroupPattern::new();
-        pattern.root = self.parse_group(&mut pattern)?;
+        pattern.root = self.parse_group(pattern)?;
         if let Some(tok) = self.next_token()? {
             return Err(self.err(format!("trailing input after query: {tok:?}")));
         }
-        Ok(Query { select, pattern })
+        Ok(star)
     }
 }
 
+/// Parse a full SELECT query into caller-owned scratch buffers. The parsed
+/// query is readable via [`ParseScratch::query_ref`] (or copied out with
+/// owned types via [`parse_query`]). With a warm scratch and a warm
+/// interner — every string already seen — a call performs **zero heap
+/// allocations**; this is the parse stage of the zero-alloc serve pipeline.
+pub fn parse_query_into(
+    input: &str,
+    interner: &mut Interner,
+    scratch: &mut ParseScratch,
+) -> Result<(), ParseError> {
+    scratch.pattern.clear();
+    scratch.select_star = false;
+    let ParseScratch {
+        pattern,
+        select,
+        select_star,
+        prefixes,
+        expand_buf,
+    } = scratch;
+    let mut parser = Parser::new(input, interner, prefixes, expand_buf);
+    *select_star = parser.parse_query_body(select, pattern)?;
+    Ok(())
+}
+
 /// Parse a full SELECT query, interning all terms into `interner`.
+/// Convenience wrapper over [`parse_query_into`] that allocates a fresh
+/// [`ParseScratch`] and returns an owned [`Query`].
 pub fn parse_query(input: &str, interner: &mut Interner) -> Result<Query, ParseError> {
-    Parser::new(input, interner).parse_query()
+    let mut scratch = ParseScratch::new();
+    parse_query_into(input, interner, &mut scratch)?;
+    Ok(scratch.into_query())
 }
 
 /// Parse a bare BGP — a brace-less triple-pattern list, with an optional
@@ -869,10 +1016,12 @@ pub fn parse_query(input: &str, interner: &mut Interner) -> Result<Query, ParseE
 /// which are flat by design: OPTIONAL/UNION/FILTER in a template is a parse
 /// error here.
 pub fn parse_bgp(input: &str, interner: &mut Interner) -> Result<Bgp, ParseError> {
-    Parser::new(input, interner).parse_bgp_entry()
+    let mut prefixes = Vec::new();
+    let mut expand_buf = String::new();
+    Parser::new(input, interner, &mut prefixes, &mut expand_buf).parse_bgp_entry()
 }
 
-impl Parser<'_, '_> {
+impl Parser<'_, '_, '_> {
     fn parse_bgp_entry(mut self) -> Result<Bgp, ParseError> {
         self.parse_prologue()?;
         let mut patterns = Vec::new();

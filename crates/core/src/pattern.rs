@@ -27,7 +27,7 @@
 //! distinct names and no name collides with a query variable, so rendered
 //! output re-parses to a query with identical solutions.
 
-use std::fmt;
+use std::fmt::{self, Write as _};
 
 use crate::interner::Resolve;
 use crate::term::{Term, TermKind};
@@ -62,7 +62,8 @@ impl TriplePattern {
     /// use [`Bgp::display`] / [`GroupPattern::display`] /
     /// [`Query::display`] on the whole value instead.
     pub fn display<'a, R: Resolve>(&'a self, resolver: &'a R) -> DisplayTriple<'a, R> {
-        let fresh_base = fresh_render_base(self.terms().into_iter(), resolver);
+        let mut fresh_base = String::new();
+        fresh_render_base_into(self.terms().into_iter(), resolver, &mut fresh_base);
         DisplayTriple {
             tp: self,
             resolver,
@@ -93,8 +94,12 @@ impl Bgp {
     /// existential. To render a rewritten query with its projection taken
     /// into account, use [`Query::display`] instead.
     pub fn display<'a, R: Resolve>(&'a self, resolver: &'a R) -> DisplayBgp<'a, R> {
-        let fresh_base =
-            fresh_render_base(self.patterns.iter().flat_map(|tp| tp.terms()), resolver);
+        let mut fresh_base = String::new();
+        fresh_render_base_into(
+            self.patterns.iter().flat_map(|tp| tp.terms()),
+            resolver,
+            &mut fresh_base,
+        );
         DisplayBgp {
             bgp: self,
             resolver,
@@ -319,7 +324,8 @@ impl GroupPattern {
     /// this pattern's terms only; see [`Query::display`] for the caveat
     /// about projection variables.
     pub fn display<'a, R: Resolve>(&'a self, resolver: &'a R) -> DisplayPattern<'a, R> {
-        let fresh_base = fresh_render_base(self.terms(), resolver);
+        let mut fresh_base = String::new();
+        fresh_render_base_into(self.terms(), resolver, &mut fresh_base);
         DisplayPattern {
             pattern: self,
             resolver,
@@ -457,20 +463,66 @@ pub struct Query {
 
 impl Query {
     pub fn display<'a, R: Resolve>(&'a self, resolver: &'a R) -> DisplayQuery<'a, R> {
-        let select_vars: &[Term] = match &self.select {
-            SelectList::Star => &[],
-            SelectList::Vars(vars) => vars,
-        };
-        let fresh_base = fresh_render_base(
-            self.pattern.terms().chain(select_vars.iter().copied()),
-            resolver,
-        );
+        let q = self.as_ref();
+        let mut fresh_base = String::new();
+        fresh_render_base_into(q.terms(), resolver, &mut fresh_base);
         DisplayQuery {
             query: self,
             resolver,
             fresh_base,
         }
     }
+
+    /// Borrowed view of this query; the shape the scratch-based serve
+    /// pipeline passes between stages.
+    #[inline]
+    pub fn as_ref(&self) -> QueryRef<'_> {
+        QueryRef {
+            select: match &self.select {
+                SelectList::Star => None,
+                SelectList::Vars(vars) => Some(vars),
+            },
+            pattern: &self.pattern,
+        }
+    }
+}
+
+/// A borrowed SELECT query: projection (`None` = `SELECT *`) plus pattern.
+///
+/// The serve pipeline's stages each own their buffers (a
+/// [`crate::parser::ParseScratch`], a [`crate::rewriter::RewriteScratch`]),
+/// so handing a query from one stage to the next must not require
+/// assembling an owned [`Query`]. `QueryRef` is that hand-off: `Copy`,
+/// borrowing both halves from whichever scratch produced them.
+#[derive(Copy, Clone)]
+pub struct QueryRef<'a> {
+    /// Projected variables, or `None` for `SELECT *`.
+    pub select: Option<&'a [Term]>,
+    pub pattern: &'a GroupPattern,
+}
+
+impl<'a> QueryRef<'a> {
+    /// Every term the query mentions: pattern terms plus the projection.
+    fn terms(&self) -> impl Iterator<Item = Term> + 'a {
+        let select = self.select.unwrap_or(&[]);
+        self.pattern.terms().chain(select.iter().copied())
+    }
+}
+
+/// Render `query` as SPARQL text into `out` (cleared first), reusing
+/// `fresh_base` as the fresh-name offset buffer. This is the zero-alloc
+/// render path: with both buffers warm (capacity from a previous call) a
+/// call performs no heap allocations unless the query uses `g{k}` variable
+/// names with more than 19 digits (the arbitrary-precision fallback).
+pub fn render_query_into<R: Resolve>(
+    query: QueryRef<'_>,
+    resolver: &R,
+    fresh_base: &mut String,
+    out: &mut String,
+) {
+    fresh_render_base_into(query.terms(), resolver, fresh_base);
+    out.clear();
+    write_query(out, query, resolver, fresh_base).expect("writing to String cannot fail");
 }
 
 /// Is `s` a canonical decimal numeral (no sign, no leading zero except "0"
@@ -505,11 +557,18 @@ fn decimal_add(digits: &str, n: u32) -> String {
     String::from_utf8(out).expect("decimal digits are valid UTF-8")
 }
 
-/// Smallest counter offset (as a canonical decimal string) such that no
-/// rendered fresh name `g{base + n}` collides with a parsed variable of the
-/// rendered value: one past the largest `k` of any variable literally named
-/// `g{k}`. Canonical decimals compare numerically by (length, lexicographic).
-fn fresh_render_base<R: Resolve>(terms: impl Iterator<Item = Term>, resolver: &R) -> String {
+/// Compute the smallest counter offset (as a canonical decimal string, into
+/// `out`, cleared first) such that no rendered fresh name `g{base + n}`
+/// collides with a parsed variable of the rendered value: one past the
+/// largest `k` of any variable literally named `g{k}`. Canonical decimals
+/// compare numerically by (length, lexicographic). Allocation-free once
+/// `out` has capacity, except for the >19-digit arbitrary-precision
+/// fallback.
+fn fresh_render_base_into<R: Resolve>(
+    terms: impl Iterator<Item = Term>,
+    resolver: &R,
+    out: &mut String,
+) {
     let mut max: Option<&str> = None;
     for t in terms {
         if t.kind() != TermKind::Var {
@@ -524,20 +583,34 @@ fn fresh_render_base<R: Resolve>(terms: impl Iterator<Item = Term>, resolver: &R
             }
         }
     }
+    out.clear();
     match max {
-        None => "0".to_string(),
-        Some(m) => decimal_add(m, 1),
+        None => out.push('0'),
+        // ≤19 decimal digits always fits u64; +1 in u128 cannot overflow.
+        Some(m) if m.len() <= 19 => {
+            let n: u64 = m.parse().expect("canonical decimal fits u64");
+            let _ = write!(out, "{}", n as u128 + 1);
+        }
+        Some(m) => out.push_str(&decimal_add(m, 1)),
     }
 }
 
-fn write_term<R: Resolve>(
-    f: &mut fmt::Formatter<'_>,
+fn write_term<W: fmt::Write + ?Sized, R: Resolve>(
+    f: &mut W,
     t: Term,
     resolver: &R,
     fresh_base: &str,
 ) -> fmt::Result {
     if t.kind() == TermKind::Fresh {
-        return write!(f, "?g{}", decimal_add(fresh_base, t.fresh_index()));
+        // Fast path: a base of ≤19 digits fits u64, so the offset is plain
+        // integer arithmetic — no allocation. The decimal-string fallback
+        // only triggers for queries using `g{k}` names past 19 digits.
+        return if fresh_base.len() <= 19 {
+            let base: u64 = fresh_base.parse().expect("canonical decimal fits u64");
+            write!(f, "?g{}", base as u128 + t.fresh_index() as u128)
+        } else {
+            write!(f, "?g{}", decimal_add(fresh_base, t.fresh_index()))
+        };
     }
     let text = resolver.resolve(t.symbol());
     match t.kind() {
@@ -563,8 +636,8 @@ impl<R: Resolve> fmt::Display for DisplayTriple<'_, R> {
     }
 }
 
-fn write_triple<R: Resolve>(
-    f: &mut fmt::Formatter<'_>,
+fn write_triple<W: fmt::Write + ?Sized, R: Resolve>(
+    f: &mut W,
     tp: &TriplePattern,
     resolver: &R,
     fresh_base: &str,
@@ -589,8 +662,8 @@ impl<R: Resolve> fmt::Display for DisplayBgp<'_, R> {
     }
 }
 
-fn write_bgp<R: Resolve>(
-    f: &mut fmt::Formatter<'_>,
+fn write_bgp<W: fmt::Write + ?Sized, R: Resolve>(
+    f: &mut W,
     bgp: &Bgp,
     resolver: &R,
     fresh_base: &str,
@@ -604,7 +677,7 @@ fn write_bgp<R: Resolve>(
     f.write_str("}")
 }
 
-fn write_indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+fn write_indent<W: fmt::Write + ?Sized>(f: &mut W, depth: usize) -> fmt::Result {
     for _ in 0..depth {
         f.write_str("  ")?;
     }
@@ -614,14 +687,14 @@ fn write_indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
 /// Render a filter expression. Non-leaf operands are parenthesized
 /// unconditionally, which keeps rendering deterministic and makes
 /// `render → parse → render` a fixpoint (parentheses do not create nodes).
-fn write_expr<R: Resolve>(
-    f: &mut fmt::Formatter<'_>,
+fn write_expr<W: fmt::Write + ?Sized, R: Resolve>(
+    f: &mut W,
     p: &GroupPattern,
     e: u32,
     resolver: &R,
     fresh_base: &str,
 ) -> fmt::Result {
-    let operand = |f: &mut fmt::Formatter<'_>, c: u32| -> fmt::Result {
+    let operand = |f: &mut W, c: u32| -> fmt::Result {
         if let ExprNode::Term(t) = p.exprs[c as usize] {
             write_term(f, t, resolver, fresh_base)
         } else {
@@ -656,8 +729,8 @@ fn write_expr<R: Resolve>(
 
 /// Render one pattern node (and its subtree) at `depth`, each line
 /// indented and newline-terminated.
-fn write_node<R: Resolve>(
-    f: &mut fmt::Formatter<'_>,
+fn write_node<W: fmt::Write + ?Sized, R: Resolve>(
+    f: &mut W,
     p: &GroupPattern,
     idx: u32,
     resolver: &R,
@@ -711,8 +784,8 @@ fn write_node<R: Resolve>(
 }
 
 /// Render the whole pattern as `{ ... }` (no trailing newline).
-fn write_pattern<R: Resolve>(
-    f: &mut fmt::Formatter<'_>,
+fn write_pattern<W: fmt::Write + ?Sized, R: Resolve>(
+    f: &mut W,
     p: &GroupPattern,
     resolver: &R,
     fresh_base: &str,
@@ -744,19 +817,29 @@ pub struct DisplayQuery<'a, R: Resolve> {
 
 impl<R: Resolve> fmt::Display for DisplayQuery<'_, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("SELECT")?;
-        match &self.query.select {
-            SelectList::Star => f.write_str(" *")?,
-            SelectList::Vars(vars) => {
-                for v in vars {
-                    f.write_str(" ")?;
-                    write_term(f, *v, self.resolver, &self.fresh_base)?;
-                }
+        write_query(f, self.query.as_ref(), self.resolver, &self.fresh_base)
+    }
+}
+
+/// Render a full query (projection + pattern) to any writer.
+fn write_query<W: fmt::Write + ?Sized, R: Resolve>(
+    f: &mut W,
+    q: QueryRef<'_>,
+    resolver: &R,
+    fresh_base: &str,
+) -> fmt::Result {
+    f.write_str("SELECT")?;
+    match q.select {
+        None => f.write_str(" *")?,
+        Some(vars) => {
+            for v in vars {
+                f.write_str(" ")?;
+                write_term(f, *v, resolver, fresh_base)?;
             }
         }
-        f.write_str(" WHERE ")?;
-        write_pattern(f, &self.query.pattern, self.resolver, &self.fresh_base)
     }
+    f.write_str(" WHERE ")?;
+    write_pattern(f, q.pattern, resolver, fresh_base)
 }
 
 #[cfg(test)]

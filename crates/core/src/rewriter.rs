@@ -3,8 +3,10 @@
 //! Both rewriters implement the same semantics; they differ only in how rule
 //! candidates are found per triple pattern:
 //!
-//! * [`IndexedRewriter`] — O(1) hash lookups against the store's entity and
-//!   predicate indexes. This is the production path.
+//! * [`IndexedRewriter`] — O(1) lookups against the store's entity and
+//!   predicate indexes: dense direct-indexed dispatch tables after
+//!   [`AlignmentStore::build_dense_index`], hash maps before. This is the
+//!   production path.
 //! * [`LinearRewriter`] — scans the full rule list per pattern, the way a
 //!   naive implementation would. Kept behind the same [`Rewriter`] trait as
 //!   the benchmark baseline.
@@ -98,7 +100,8 @@ use std::sync::Arc;
 
 use crate::align::{AlignmentStore, Rule};
 use crate::pattern::{
-    Bgp, ChainBuilder, ExprNode, GroupPattern, PatternNode, Query, SelectList, TriplePattern,
+    Bgp, ChainBuilder, ExprNode, GroupPattern, PatternNode, Query, QueryRef, SelectList,
+    TriplePattern,
 };
 use crate::term::{Symbol, Term, TermKind};
 
@@ -204,9 +207,17 @@ pub trait Rewriter {
     /// (allocation-free once warm).
     fn rewrite_pattern_into(&self, pattern: &GroupPattern, scratch: &mut RewriteScratch);
 
-    /// Rewrite a full query into `scratch`: the projection is copied into
-    /// the scratch, the pattern is rewritten (allocation-free once warm).
-    fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch);
+    /// Rewrite a borrowed query view into `scratch`: the projection is
+    /// copied into the scratch, the pattern is rewritten (allocation-free
+    /// once warm). This is the serve-pipeline entry point — the view can
+    /// borrow straight out of a [`crate::parser::ParseScratch`], so no owned
+    /// [`Query`] is ever assembled between parse and rewrite.
+    fn rewrite_ref_into(&self, query: QueryRef<'_>, scratch: &mut RewriteScratch);
+
+    /// Rewrite a full query into `scratch` (allocation-free once warm).
+    fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch) {
+        self.rewrite_ref_into(query.as_ref(), scratch);
+    }
 
     /// Convenience wrapper allocating a fresh output pattern.
     fn rewrite_bgp(&self, bgp: &Bgp) -> GroupPattern {
@@ -295,12 +306,12 @@ impl<S: Borrow<AlignmentStore>> RuleLookup for IndexedRewriter<S> {
     #[inline]
     fn collect_matching_templates(&self, tp: TriplePattern, out: &mut Vec<u32>) {
         let store = self.store();
-        let rules = store.rules();
         for &id in store.predicate_candidates(tp.p) {
-            if let Rule::Predicate { lhs, .. } = &rules[id as usize] {
-                if lhs_matches(*lhs, tp) {
-                    out.push(id);
-                }
+            // `template` reads the dense flat lhs pool when the store is
+            // frozen — no `Vec<Rule>` enum chase per candidate.
+            let (lhs, _) = store.template(id);
+            if lhs_matches(lhs, tp) {
+                out.push(id);
             }
         }
     }
@@ -420,17 +431,6 @@ fn instantiate_template(
     }
 }
 
-/// The lhs/rhs of predicate rule `id`. Only called with ids collected by
-/// [`RuleLookup::collect_matching_templates`], which yields predicate rules
-/// exclusively.
-#[inline]
-fn rule_template(store: &AlignmentStore, id: u32) -> (TriplePattern, &[TriplePattern]) {
-    match &store.rules()[id as usize] {
-        Rule::Predicate { lhs, rhs } => (*lhs, rhs),
-        _ => unreachable!("collected template id points at a non-predicate rule"),
-    }
-}
-
 /// Rewrite one run of triple patterns, emitting output nodes into `chain`:
 /// maximal triples runs, interrupted by a UNION node for every pattern that
 /// matched two or more templates (one branch per template, rule-id order).
@@ -452,23 +452,23 @@ fn rewrite_run<L: RuleLookup>(
             chain.push(&mut scratch.pattern, node);
         }
     }
+    // `match_ids` is moved out of the scratch for the duration of the
+    // borrow-heavy loop below; `mem::take` leaves an unallocated empty Vec
+    // behind and the capacity-bearing buffer is put back afterwards, so the
+    // steady state still allocates nothing.
+    let mut ids = std::mem::take(&mut scratch.match_ids);
     for &tp in triples {
         let substituted = TriplePattern::new(
             lookup.entity_target(tp.s).unwrap_or(tp.s),
             lookup.entity_target(tp.p).unwrap_or(tp.p),
             lookup.entity_target(tp.o).unwrap_or(tp.o),
         );
-        // `match_ids` is moved out of the scratch for the duration of the
-        // borrow-heavy expansion below; `mem::take` leaves an unallocated
-        // empty Vec behind and the capacity-bearing buffer is put back
-        // afterwards, so the steady state still allocates nothing.
-        let mut ids = std::mem::take(&mut scratch.match_ids);
         ids.clear();
         lookup.collect_matching_templates(substituted, &mut ids);
         match ids.as_slice() {
             [] => scratch.pattern.triples.push(substituted),
             [id] => {
-                let (lhs, rhs) = rule_template(lookup.rules(), *id);
+                let (lhs, rhs) = lookup.rules().template(*id);
                 instantiate_template(
                     lhs,
                     rhs,
@@ -484,7 +484,7 @@ fn rewrite_run<L: RuleLookup>(
                 flush(run_start, scratch, chain);
                 let mut branches = ChainBuilder::new();
                 for &id in many {
-                    let (lhs, rhs) = rule_template(lookup.rules(), id);
+                    let (lhs, rhs) = lookup.rules().template(id);
                     let branch_start = scratch.pattern.triples.len() as u32;
                     instantiate_template(
                         lhs,
@@ -509,8 +509,8 @@ fn rewrite_run<L: RuleLookup>(
                 run_start = scratch.pattern.triples.len() as u32;
             }
         }
-        scratch.match_ids = ids;
     }
+    scratch.match_ids = ids;
     flush(run_start, scratch, chain);
 }
 
@@ -658,16 +658,20 @@ fn rewrite_bgp_with<L: RuleLookup>(lookup: &L, bgp: &Bgp, scratch: &mut RewriteS
     });
 }
 
-fn rewrite_query_with<L: RuleLookup>(lookup: &L, query: &Query, scratch: &mut RewriteScratch) {
+fn rewrite_query_with<L: RuleLookup>(
+    lookup: &L,
+    query: QueryRef<'_>,
+    scratch: &mut RewriteScratch,
+) {
     scratch.select.clear();
-    match &query.select {
-        SelectList::Star => scratch.select_star = true,
-        SelectList::Vars(vars) => {
+    match query.select {
+        None => scratch.select_star = true,
+        Some(vars) => {
             scratch.select_star = false;
             scratch.select.extend_from_slice(vars);
         }
     }
-    rewrite_pattern_with(lookup, &query.pattern, scratch);
+    rewrite_pattern_with(lookup, query.pattern, scratch);
 }
 
 impl<S: Borrow<AlignmentStore>> Rewriter for IndexedRewriter<S> {
@@ -683,7 +687,7 @@ impl<S: Borrow<AlignmentStore>> Rewriter for IndexedRewriter<S> {
         rewrite_pattern_with(self, pattern, scratch);
     }
 
-    fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch) {
+    fn rewrite_ref_into(&self, query: QueryRef<'_>, scratch: &mut RewriteScratch) {
         rewrite_query_with(self, query, scratch);
     }
 }
@@ -701,7 +705,7 @@ impl<S: Borrow<AlignmentStore>> Rewriter for LinearRewriter<S> {
         rewrite_pattern_with(self, pattern, scratch);
     }
 
-    fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch) {
+    fn rewrite_ref_into(&self, query: QueryRef<'_>, scratch: &mut RewriteScratch) {
         rewrite_query_with(self, query, scratch);
     }
 }

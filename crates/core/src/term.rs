@@ -49,8 +49,11 @@ pub enum TermKind {
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Term(u32);
 
-const TAG_SHIFT: u32 = 29;
-const SYM_MASK: u32 = (1 << TAG_SHIFT) - 1;
+/// Bit position of the 3-bit kind tag; the symbol/counter payload sits
+/// below. `pub(crate)` so the dense alignment index can decode raw terms
+/// without duplicating the packing.
+pub(crate) const TAG_SHIFT: u32 = 29;
+pub(crate) const SYM_MASK: u32 = (1 << TAG_SHIFT) - 1;
 
 impl Term {
     #[inline]
@@ -137,6 +140,14 @@ impl Term {
     #[inline]
     pub fn raw(self) -> u32 {
         self.0
+    }
+
+    /// Reconstruct a term from its [`Term::raw`] packing. Only meaningful
+    /// for values previously produced by `raw()` in the same process (the
+    /// dense alignment index stores rule targets this way).
+    #[inline]
+    pub fn from_raw(raw: u32) -> Term {
+        Term(raw)
     }
 }
 

@@ -12,8 +12,8 @@ use std::sync::{Mutex, MutexGuard};
 
 use sparql_rewrite_core::counting_alloc::{allocation_count, CountingAllocator};
 use sparql_rewrite_core::{
-    parse_bgp, parse_query, AlignmentStore, IndexedRewriter, Interner, LinearRewriter, Query,
-    RewriteScratch, Rewriter,
+    parse_bgp, parse_query, parse_query_into, render_query_into, AlignmentStore, IndexedRewriter,
+    Interner, LinearRewriter, ParseScratch, Query, QueryRef, RewriteScratch, Rewriter,
 };
 
 /// The allocation counter is process-global and the test harness runs tests
@@ -152,6 +152,173 @@ fn linear_strategy_is_also_allocation_free() {
         }
     }
     assert_eq!(allocation_count() - before, 0);
+}
+
+/// Query texts covering the allocation-prone parse paths: PREFIX + QName
+/// expansion, flat predicate-object/object lists, full group shapes
+/// (nested group, OPTIONAL, UNION, FILTER with typed-literal sugar), and
+/// predicates that the fixture's rule set expands into a multi-branch
+/// UNION at rewrite time.
+const PIPELINE_TEXTS: &[&str] = &[
+    "PREFIX src: <http://src/>\nSELECT ?a ?b WHERE { ?a src:one ?b ; src:E ?b . ?b src:one ?a , ?c }",
+    "SELECT * WHERE { ?p <http://src/split> ?q . ?q <http://miss/p> 42 . ?q <http://miss/q> \"x\"@en }",
+    "SELECT * WHERE { ?a <http://src/one> ?b . \
+     OPTIONAL { ?b <http://src/multi> ?c } \
+     { ?c <http://src/split> ?d } UNION { { ?c <http://src/one> ?e } } \
+     FILTER(?b != <http://src/E> && ?c < 42 || !(?d = \"z\"@en)) }",
+    "SELECT * WHERE { ?x <http://miss/p> ?y . ?x <http://src/multi> ?z . ?z <http://miss/q> true }",
+];
+
+#[test]
+fn steady_state_parse_query_into_is_allocation_free() {
+    let _guard = serialized();
+    let mut it = Interner::new();
+    let mut scratch = ParseScratch::new();
+    // Warm-up: first pass interns every distinct string and grows the
+    // scratch buffers to the batch's high-water mark.
+    for text in PIPELINE_TEXTS {
+        parse_query_into(text, &mut it, &mut scratch).unwrap();
+    }
+    let expected: Vec<(usize, usize)> = PIPELINE_TEXTS
+        .iter()
+        .map(|text| {
+            parse_query_into(text, &mut it, &mut scratch).unwrap();
+            (
+                scratch.pattern().triples.len(),
+                scratch.select().map_or(0, <[_]>::len),
+            )
+        })
+        .collect();
+
+    let before = allocation_count();
+    for _ in 0..1_000 {
+        for (text, exp) in PIPELINE_TEXTS.iter().zip(&expected) {
+            parse_query_into(text, &mut it, &mut scratch).unwrap();
+            assert_eq!(
+                (
+                    scratch.pattern().triples.len(),
+                    scratch.select().map_or(0, <[_]>::len)
+                ),
+                *exp
+            );
+        }
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "steady-state parse_query_into must not allocate"
+    );
+}
+
+#[test]
+fn steady_state_parse_rewrite_render_pipeline_is_allocation_free() {
+    let _guard = serialized();
+    // Rules over the same vocabulary as PIPELINE_TEXTS, including the
+    // two-template `src:multi` predicate whose rewrite expands a UNION.
+    // Built against the *same* interner the pipeline parses with — rule
+    // terms and query terms must share symbols.
+    let mut it = Interner::new();
+    let mut store = AlignmentStore::new();
+    store
+        .add_entity(
+            parse_bgp("?x <http://src/E> ?y", &mut it).unwrap().patterns[0].p,
+            parse_bgp("?x <http://tgt/E> ?y", &mut it).unwrap().patterns[0].p,
+        )
+        .unwrap();
+    let lhs1 = parse_bgp("?a <http://src/one> ?b", &mut it)
+        .unwrap()
+        .patterns[0];
+    let rhs1 = parse_bgp("?b <http://tgt/one> ?a", &mut it)
+        .unwrap()
+        .patterns;
+    store.add_predicate(lhs1, rhs1).unwrap();
+    let lhs2 = parse_bgp("?a <http://src/split> ?b", &mut it)
+        .unwrap()
+        .patterns[0];
+    let rhs2 = parse_bgp("?a <http://tgt/h> ?m . ?m <http://tgt/t> ?b", &mut it)
+        .unwrap()
+        .patterns;
+    store.add_predicate(lhs2, rhs2).unwrap();
+    let lhs3 = parse_bgp("?a <http://src/multi> ?b", &mut it)
+        .unwrap()
+        .patterns[0];
+    for tgt in ["m1", "m2"] {
+        let rhs = parse_bgp(&format!("?a <http://tgt/{tgt}> ?b"), &mut it)
+            .unwrap()
+            .patterns;
+        store.add_predicate(lhs3, rhs).unwrap();
+    }
+    // Exercise the tentpole: lookups run on the dense direct-indexed tables.
+    assert!(store.build_dense_index(it.symbol_bound()));
+    let rewriter = IndexedRewriter::new(&store);
+    let mut parse = ParseScratch::new();
+    let mut rewrite = RewriteScratch::new();
+    let mut fresh_base = String::new();
+    let mut out = String::new();
+
+    let serve = |text: &str,
+                 it: &mut Interner,
+                 parse: &mut ParseScratch,
+                 rewrite: &mut RewriteScratch,
+                 fresh_base: &mut String,
+                 out: &mut String| {
+        parse_query_into(text, it, parse).unwrap();
+        rewriter.rewrite_ref_into(parse.query_ref(), rewrite);
+        render_query_into(
+            QueryRef {
+                select: rewrite.select(),
+                pattern: rewrite.pattern(),
+            },
+            it,
+            fresh_base,
+            out,
+        );
+        out.len()
+    };
+
+    for text in PIPELINE_TEXTS {
+        serve(
+            text,
+            &mut it,
+            &mut parse,
+            &mut rewrite,
+            &mut fresh_base,
+            &mut out,
+        );
+    }
+    let expected: Vec<usize> = PIPELINE_TEXTS
+        .iter()
+        .map(|t| {
+            serve(
+                t,
+                &mut it,
+                &mut parse,
+                &mut rewrite,
+                &mut fresh_base,
+                &mut out,
+            )
+        })
+        .collect();
+
+    let before = allocation_count();
+    for _ in 0..1_000 {
+        for (text, exp) in PIPELINE_TEXTS.iter().zip(&expected) {
+            let len = serve(
+                text,
+                &mut it,
+                &mut parse,
+                &mut rewrite,
+                &mut fresh_base,
+                &mut out,
+            );
+            assert_eq!(len, *exp);
+        }
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "steady-state parse → rewrite → render must not allocate"
+    );
 }
 
 #[test]
