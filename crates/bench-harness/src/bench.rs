@@ -22,8 +22,14 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// The one and only sort: samples are ordered here, once per config,
+    /// and every later [`Stats::percentile`] call is a plain index into the
+    /// sorted slice — no clone, no re-sort, no matter how many percentiles
+    /// a config reports. `total_cmp` instead of `partial_cmp().unwrap()`
+    /// so a NaN sample (a zero-duration clock quirk divided oddly) can
+    /// never panic the harness mid-run.
     fn from_samples(mut samples_ns: Vec<f64>, iters_per_sample: u64) -> Stats {
-        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples_ns.sort_by(f64::total_cmp);
         let n = samples_ns.len() as f64;
         let mean = samples_ns.iter().sum::<f64>() / n;
         let var = samples_ns

@@ -9,19 +9,28 @@
 //! cargo run --release -p bench-harness -- --out path.json
 //! cargo run --release -p bench-harness -- --filter end_to_end/group
 //! cargo run --release -p bench-harness -- --no-dense --filter rewrite   # hash-fallback A/B
+//! cargo run --release -p bench-harness -- --no-cache --filter cached    # cold-path A/B
 //! ```
 //!
 //! Every config has a stable slash-separated name (`rewrite/flat/indexed/
-//! 10k/8p`, `end_to_end/group/10k`, `thread_scaling`, `end_to_end/threads`);
-//! `--filter <substring>` reruns just the matching sections without the full
-//! grid.
+//! 10k/8p`, `end_to_end/group/10k`, `end_to_end/cached/zipf/10k`,
+//! `thread_scaling`, `end_to_end/threads`); `--filter <substring>` reruns
+//! just the matching sections without the full grid.
+//!
+//! The `end_to_end/cached/*` configs serve a Zipfian(1.0) request stream —
+//! each logical query re-sent under rotating whitespace / PREFIX-alias
+//! re-spellings — through the cache-fronted engine and A/B it against a
+//! cache-less engine on the identical stream (`--no-cache` forces the A/B
+//! leg for every config).
 //!
 //! In both modes the run doubles as a regression gate: it exits nonzero if
 //! steady-state rewriting or serving allocates, if indexed throughput falls
 //! under a conservative floor at the median **or at p99** (a fat tail fails
 //! the gate even when the median looks fine), if the indexed/linear speedup
-//! collapses, or if parallel output is nondeterministic — so CI's `--quick`
-//! smoke run fails loudly on perf regressions in the serve path.
+//! collapses, if parallel output is nondeterministic, or if the cached
+//! serve path loses its ≥10x (full) / ≥5x (quick) speedup, its ≥0.9 hit
+//! rate, or its zero-allocation hit path — so CI's `--quick` smoke run
+//! fails loudly on perf regressions in the serve path.
 
 mod bench;
 mod engine;
@@ -37,8 +46,10 @@ use engine::ServeEngine;
 use json::{array, JsonObject};
 use parallel::BatchEngine;
 use sparql_rewrite_core::counting_alloc::{allocation_count, CountingAllocator};
-use sparql_rewrite_core::{IndexedRewriter, Interner, LinearRewriter, RewriteScratch, Rewriter};
-use workload::{generate, WorkloadSpec};
+use sparql_rewrite_core::{
+    CacheConfig, IndexedRewriter, Interner, LinearRewriter, RewriteScratch, Rewriter,
+};
+use workload::{alias_prefix, generate, perturb_whitespace, Rng, WorkloadSpec, ZipfSpec};
 
 // Counting allocator (shared with the core crate's alloc_free test) so the
 // harness can report — and gate on — allocations per steady-state rewrite.
@@ -176,9 +187,13 @@ fn run_e2e_config(
     };
     let mut w = generate(&spec);
     let requests = w.query_texts();
-    let engine = ServeEngine::new(
+    // Cache off: the end_to_end/* configs measure the raw parse → rewrite
+    // → render pipeline. The cache's effect is measured (and gated)
+    // separately by the end_to_end/cached/* configs.
+    let engine = ServeEngine::with_cache(
         std::mem::take(&mut w.store),
         std::mem::replace(&mut w.interner, Interner::new()),
+        None,
     );
     let mut scratch = engine.scratch();
 
@@ -207,6 +222,150 @@ fn run_e2e_config(
         allocs_per_serve,
         stats,
         n_requests: requests.len(),
+    }
+}
+
+struct CachedResult {
+    /// Stable config name, e.g. `end_to_end/cached/zipf/10k`.
+    name: String,
+    n_rules: usize,
+    shape: &'static str,
+    zipf_s: f64,
+    n_distinct: usize,
+    n_requests: usize,
+    /// Whether the engine actually had its cache on (`--no-cache` A/B runs
+    /// record `false`, and the cache gates go vacuous).
+    cache_on: bool,
+    ns_per_request: f64,
+    requests_per_sec: f64,
+    ns_per_request_p99: f64,
+    /// Median of the identical request stream served by a cache-less
+    /// engine over the same rule set — the A/B baseline.
+    cold_ns_per_request: f64,
+    speedup_vs_cold: f64,
+    /// Steady-state hit rate over one full pass of the stream.
+    hit_rate: f64,
+    /// Heap allocations per serve at steady state (hit path dominated).
+    allocs_per_serve: f64,
+    stats: Stats,
+}
+
+/// Cached serve config: a Zipfian(s) request stream over `n_distinct`
+/// logical queries — each re-sent under rotating whitespace/PREFIX-alias
+/// re-spellings, the way real clients repeat queries — served through the
+/// cache-fronted [`ServeEngine`], A/B'd against a cache-less engine over a
+/// byte-identical workload (same seed).
+fn run_cached_config(
+    bencher: &Bencher,
+    name: String,
+    n_rules: usize,
+    group_shapes: bool,
+    quick: bool,
+    cache_on: bool,
+) -> CachedResult {
+    let spec = WorkloadSpec {
+        n_rules,
+        patterns_per_query: 8,
+        n_queries: 64,
+        seed: 0xcac4_0000 + n_rules as u64 + group_shapes as u64,
+        group_shapes,
+    };
+    let mut w = generate(&spec);
+    let distinct = w.query_texts();
+    let cached_engine = ServeEngine::with_cache(
+        std::mem::take(&mut w.store),
+        std::mem::replace(&mut w.interner, Interner::new()),
+        cache_on.then(CacheConfig::default),
+    );
+    // Identical workload (same seed) for the cold baseline.
+    let mut w2 = generate(&spec);
+    let cold_engine = ServeEngine::with_cache(
+        std::mem::take(&mut w2.store),
+        std::mem::replace(&mut w2.interner, Interner::new()),
+        None,
+    );
+
+    let n_requests = if quick { 256 } else { 512 };
+    let ranks = workload::zipf_ranks(&ZipfSpec {
+        s: 1.0,
+        n_distinct: distinct.len(),
+        n_requests,
+        seed: spec.seed ^ 0x21bf_5eed,
+    });
+    // Three spellings per logical query: as-rendered, whitespace-mangled,
+    // PREFIX-aliased. The normalizer must fold all three onto one entry.
+    let mut rng = Rng::new(spec.seed ^ 0x77);
+    let variants: Vec<[String; 3]> = distinct
+        .iter()
+        .map(|t| {
+            [
+                t.clone(),
+                perturb_whitespace(t, &mut rng),
+                alias_prefix(t, "s", "http://src.example.org/onto/"),
+            ]
+        })
+        .collect();
+    let requests: Vec<&str> = ranks
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| variants[r as usize][i % 3].as_str())
+        .collect();
+
+    let mut scratch = cached_engine.scratch();
+    let stats = bencher.run(|| {
+        for req in &requests {
+            let out = cached_engine
+                .serve(req, &mut scratch)
+                .expect("workload parses");
+            std::hint::black_box(out);
+        }
+    });
+    let mut cold_scratch = cold_engine.scratch();
+    let cold_stats = bencher.run(|| {
+        for req in &requests {
+            let out = cold_engine
+                .serve(req, &mut cold_scratch)
+                .expect("workload parses");
+            std::hint::black_box(out);
+        }
+    });
+
+    // Steady-state hit rate and allocations over one more full pass (the
+    // bench warm-up already populated the cache).
+    scratch.reset_cache_counters();
+    let before = allocation_count();
+    for req in &requests {
+        let out = cached_engine
+            .serve(req, &mut scratch)
+            .expect("workload parses");
+        std::hint::black_box(out);
+    }
+    let allocs_per_serve = (allocation_count() - before) as f64 / requests.len() as f64;
+    let served = scratch.cache_hits() + scratch.cache_misses();
+    let hit_rate = if served > 0 {
+        scratch.cache_hits() as f64 / served as f64
+    } else {
+        0.0
+    };
+
+    let ns_per_request = stats.median_ns / requests.len() as f64;
+    let cold_ns_per_request = cold_stats.median_ns / requests.len() as f64;
+    CachedResult {
+        name,
+        n_rules,
+        shape: if group_shapes { "group" } else { "flat" },
+        zipf_s: 1.0,
+        n_distinct: distinct.len(),
+        n_requests,
+        cache_on,
+        ns_per_request,
+        requests_per_sec: 1e9 / ns_per_request,
+        ns_per_request_p99: stats.percentile(99.0) / requests.len() as f64,
+        cold_ns_per_request,
+        speedup_vs_cold: cold_ns_per_request / ns_per_request,
+        hit_rate,
+        allocs_per_serve,
+        stats,
     }
 }
 
@@ -261,7 +420,7 @@ fn run_thread_scaling(quick: bool, thread_counts: &[usize]) -> ScalingReport {
         let mut secs: Vec<f64> = (0..3)
             .map(|_| engine.timed_run(&queries, threads, reps).as_secs_f64())
             .collect();
-        secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        secs.sort_by(f64::total_cmp);
         let elapsed = secs[1];
         // The untimed-warm pass inside timed_run does the same work, so
         // count reps + 1 passes.
@@ -306,9 +465,11 @@ fn run_e2e_thread_scaling(quick: bool, thread_counts: &[usize]) -> Vec<ThreadRes
     let mut w = generate(&spec);
     let requests = w.query_texts();
     let n_requests = requests.len() as f64;
-    let engine = ServeEngine::new(
+    // Cache off — thread scaling of the cold pipeline (see run_e2e_config).
+    let engine = ServeEngine::with_cache(
         std::mem::take(&mut w.store),
         std::mem::replace(&mut w.interner, Interner::new()),
+        None,
     );
 
     let budget = if quick {
@@ -332,7 +493,7 @@ fn run_e2e_thread_scaling(quick: bool, thread_counts: &[usize]) -> Vec<ThreadRes
                     .as_secs_f64()
             })
             .collect();
-        secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        secs.sort_by(f64::total_cmp);
         let qps = n_requests * (reps as f64 + 1.0) / secs[1];
         if threads == 1 {
             base = qps;
@@ -361,12 +522,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let dense = !args.iter().any(|a| a == "--no-dense");
-    // A filtered (or hash-fallback) run produces a partial / non-standard
-    // document; without an explicit --out it must not clobber the committed
-    // full-grid BENCH_core.json.
+    // --no-cache: run the end_to_end/cached/* configs with the cache
+    // disabled — the A/B leg. Speedup/hit-rate gates go vacuous (there is
+    // nothing to gate), and the output is marked partial.
+    let cache_on = !args.iter().any(|a| a == "--no-cache");
+    // A filtered (or hash-fallback / cache-less) run produces a partial /
+    // non-standard document; without an explicit --out it must not clobber
+    // the committed full-grid BENCH_core.json.
     let explicit_out = args.iter().any(|a| a == "--out");
-    let out_path = if !explicit_out && (filter.is_some() || !dense) {
-        eprintln!("note: partial run (--filter/--no-dense); writing BENCH_partial.json (pass --out to override)");
+    let out_path = if !explicit_out && (filter.is_some() || !dense || !cache_on) {
+        eprintln!("note: partial run (--filter/--no-dense/--no-cache); writing BENCH_partial.json (pass --out to override)");
         "BENCH_partial.json".to_string()
     } else {
         out_path
@@ -466,6 +631,38 @@ fn main() {
             );
             e2e_results.push(r);
         }
+    }
+
+    // Cached serve path: Zipfian(1.0) streams of re-spelled repeats
+    // through the cache-fronted engine, A/B'd against the cold pipeline on
+    // the identical stream.
+    let mut cached_results: Vec<CachedResult> = Vec::new();
+    eprintln!(
+        "{:>28} {:>12} {:>14} {:>10} {:>9} {:>8}",
+        "cached", "ns/request", "requests/sec", "speedup", "hit_rate", "allocs"
+    );
+    let cached_grid: &[(usize, bool)] = if quick {
+        &[(1_000, false)]
+    } else {
+        &[(1_000, false), (10_000, false), (1_000, true)]
+    };
+    for &(n_rules, group) in cached_grid {
+        let shape = if group { "zipf-group" } else { "zipf" };
+        let name = format!("end_to_end/cached/{shape}/{}", fmt_rules(n_rules));
+        if !selected(&name) {
+            continue;
+        }
+        let r = run_cached_config(&bencher, name, n_rules, group, quick, cache_on);
+        eprintln!(
+            "{:>28} {:>12.0} {:>14.0} {:>9.1}x {:>9.3} {:>8.2}",
+            r.name,
+            r.ns_per_request,
+            r.requests_per_sec,
+            r.speedup_vs_cold,
+            r.hit_rate,
+            r.allocs_per_serve
+        );
+        cached_results.push(r);
     }
 
     // Speedup per rule-set size: geometric mean over query sizes of
@@ -619,6 +816,36 @@ fn main() {
             .int("iters_per_sample", r.stats.iters_per_sample);
         o.finish()
     }));
+    let cached_json = array(cached_results.iter().map(|r| {
+        let mut o = JsonObject::new();
+        o.str("name", &r.name)
+            .int("rules", r.n_rules as u64)
+            .str("shape", r.shape)
+            .num("zipf_s", r.zipf_s)
+            .int("n_distinct", r.n_distinct as u64)
+            .int("n_requests", r.n_requests as u64)
+            .str("cache", if r.cache_on { "on" } else { "off" })
+            .num("ns_per_request_median", r.ns_per_request)
+            .num(
+                "ns_per_request_p50",
+                r.stats.percentile(50.0) / r.n_requests as f64,
+            )
+            .num(
+                "ns_per_request_p90",
+                r.stats.percentile(90.0) / r.n_requests as f64,
+            )
+            .num("ns_per_request_p99", r.ns_per_request_p99)
+            .num("requests_per_sec", r.requests_per_sec)
+            .num("cold_ns_per_request_median", r.cold_ns_per_request)
+            .num("speedup_vs_cold", r.speedup_vs_cold)
+            .num("hit_rate", r.hit_rate)
+            .num("allocs_per_serve", r.allocs_per_serve)
+            .num("sample_mean_ns", r.stats.mean_ns)
+            .num("sample_stddev_ns", r.stats.stddev_ns)
+            .int("samples", r.stats.samples_ns.len() as u64)
+            .int("iters_per_sample", r.stats.iters_per_sample);
+        o.finish()
+    }));
     let speedup_json = array(speedups.iter().map(|(n_rules, geo)| {
         let mut o = JsonObject::new();
         o.int("rules", *n_rules as u64)
@@ -634,6 +861,25 @@ fn main() {
             o.finish()
         }))
     };
+    // Cached-path aggregates (NANs when no cached config ran — serialized
+    // as null, and the matching gates go vacuous).
+    let cached_speedup_min = cached_results
+        .iter()
+        .map(|r| r.speedup_vs_cold)
+        .fold(f64::INFINITY, f64::min);
+    let cache_hit_rate_min = cached_results
+        .iter()
+        .map(|r| r.hit_rate)
+        .fold(f64::INFINITY, f64::min);
+    let max_cached_allocs = cached_results
+        .iter()
+        .map(|r| r.allocs_per_serve)
+        .fold(0.0f64, f64::max);
+    let min_cached_rps_p99 = cached_results
+        .iter()
+        .map(|r| 1e9 / r.ns_per_request_p99)
+        .fold(f64::INFINITY, f64::min);
+
     let mut summary = JsonObject::new();
     summary
         .raw("speedup_by_rule_count", &speedup_json)
@@ -644,8 +890,33 @@ fn main() {
         )
         .num("end_to_end_queries_per_sec_min", min_e2e_qps)
         .num("end_to_end_queries_per_sec_min_p99", min_e2e_qps_p99)
+        .num(
+            "cached_speedup_vs_cold_min",
+            if cached_speedup_min.is_finite() {
+                cached_speedup_min
+            } else {
+                f64::NAN
+            },
+        )
+        .num(
+            "cache_hit_rate_min",
+            if cache_hit_rate_min.is_finite() {
+                cache_hit_rate_min
+            } else {
+                f64::NAN
+            },
+        )
+        .num(
+            "cached_requests_per_sec_min_p99",
+            if min_cached_rps_p99.is_finite() {
+                min_cached_rps_p99
+            } else {
+                f64::NAN
+            },
+        )
         .num("allocs_per_rewrite_max", max_allocs)
         .num("allocs_per_serve_max", max_e2e_allocs)
+        .num("allocs_per_cached_serve_max", max_cached_allocs)
         // NAN serializes as null via fmt_num: "not measured", never a
         // fake 0.0x that reads as a scaling collapse.
         .num(
@@ -671,7 +942,9 @@ fn main() {
     if let Some(f) = &filter {
         root.str("filter", f);
     }
-    root.raw("configs", &configs).raw("end_to_end", &e2e_json);
+    root.raw("configs", &configs)
+        .raw("end_to_end", &e2e_json)
+        .raw("cached", &cached_json);
     if let Some(s) = &scaling {
         root.raw(
             "thread_scaling",
@@ -740,6 +1013,44 @@ fn main() {
         if *geo < 2.0 {
             failures.push(format!(
                 "indexed vs linear speedup collapsed: {geo:.2}x at {n_rules} rules (< 2x)"
+            ));
+        }
+    }
+    // Cached serve path, gated only when the cache was actually on
+    // (`--no-cache` runs are the A/B baseline; `--filter` runs without a
+    // cached section pass vacuously via the empty-aggregate INFINITY/0.0
+    // values). The full-mode speedup threshold matches the acceptance
+    // target (≥10x over the identical Zipfian stream served cold); quick
+    // mode — short budgets on shared CI runners — gates at ≥5x, which
+    // still fails loudly if the hit path regresses toward the pipeline
+    // cost. The hit-rate floor proves the normalizer actually folds the
+    // stream's whitespace/alias re-spellings onto shared entries, and the
+    // alloc gate keeps the hit path zero-alloc like the rest of the serve
+    // path.
+    if cache_on && !cached_results.is_empty() {
+        let speedup_floor = if quick { 5.0 } else { 10.0 };
+        if cached_speedup_min < speedup_floor {
+            failures.push(format!(
+                "cached serve speedup {cached_speedup_min:.2}x < {speedup_floor}x over the \
+                 cold path on the identical Zipfian stream"
+            ));
+        }
+        if cache_hit_rate_min < 0.9 {
+            failures.push(format!(
+                "cache hit rate {cache_hit_rate_min:.3} < 0.9 at steady state"
+            ));
+        }
+        if max_cached_allocs > 0.0 {
+            failures.push(format!(
+                "cached serve path allocated ({max_cached_allocs:.2} allocs/serve, expected 0)"
+            ));
+        }
+        // p99-aware tail floor: a cached config whose tail collapses to
+        // worse than 20k requests/sec has lost the entire point of the
+        // cache (the cold path alone sustains >100k/sec on real hardware).
+        if min_cached_rps_p99 < 20_000.0 {
+            failures.push(format!(
+                "cached serve p99 throughput floor {min_cached_rps_p99:.0} requests/sec < 20000"
             ));
         }
     }

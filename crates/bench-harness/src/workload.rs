@@ -1,7 +1,9 @@
 //! Deterministic synthetic workloads: alignment rule sets of configurable
 //! size plus query batches that exercise them — flat BGP batches or
 //! group-shaped batches (OPTIONAL / UNION / FILTER / nested groups) that
-//! drive the recursive rewrite path.
+//! drive the recursive rewrite path — plus **skewed request streams**
+//! ([`ZipfSpec`]) and textual perturbation helpers modeling how real
+//! clients re-send the same logical query with different formatting.
 //!
 //! All randomness comes from a seeded xorshift64* generator so every run —
 //! and both rewriting strategies within a run — see byte-identical
@@ -44,6 +46,113 @@ impl Rng {
     pub fn chance(&mut self, num: u64, den: u64) -> bool {
         self.next_u64() % den < num
     }
+
+    /// Uniform in `[0, 1)` (53-bit mantissa precision).
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A Zipfian request-stream shape: `n_requests` draws over ranks
+/// `0..n_distinct` where rank `i` has weight `1/(i+1)^s`. `s = 0.0` is
+/// uniform; `s = 1.0` is the classic skew observed in public SPARQL
+/// endpoint logs (a few head queries dominate, a long tail of one-offs).
+#[derive(Copy, Clone, Debug)]
+pub struct ZipfSpec {
+    pub s: f64,
+    pub n_distinct: usize,
+    pub n_requests: usize,
+    pub seed: u64,
+}
+
+/// Draw a seeded Zipfian rank stream: each element is a rank in
+/// `0..n_distinct`, sampled by inverse-CDF binary search over the
+/// cumulative weights (`O(log n)` per draw, exact for any `s`).
+pub fn zipf_ranks(spec: &ZipfSpec) -> Vec<u32> {
+    assert!(spec.n_distinct > 0, "zipf needs at least one distinct rank");
+    let mut cumulative = Vec::with_capacity(spec.n_distinct);
+    let mut total = 0.0f64;
+    for i in 0..spec.n_distinct {
+        total += 1.0 / ((i + 1) as f64).powf(spec.s);
+        cumulative.push(total);
+    }
+    let mut rng = Rng::new(spec.seed);
+    (0..spec.n_requests)
+        .map(|_| {
+            let u = rng.unit_f64() * total;
+            cumulative
+                .partition_point(|&c| c < u)
+                .min(spec.n_distinct - 1) as u32
+        })
+        .collect()
+}
+
+/// Re-spell `text` with perturbed (but equivalent) whitespace: every
+/// existing separator becomes a random run of spaces/tabs/newlines, and a
+/// comment is occasionally injected. Parses to the same query; exercises
+/// the cache normalizer's whitespace collapse.
+///
+/// Assumes `text` has no spaces *inside* string literals (true for every
+/// generated workload and for rendered rewrites of them) — a literal
+/// containing a space would be corrupted.
+pub fn perturb_whitespace(text: &str, rng: &mut Rng) -> String {
+    let mut out = String::with_capacity(text.len() * 2);
+    for c in text.chars() {
+        if c == ' ' || c == '\n' {
+            match rng.below(5) {
+                0 => out.push_str("  "),
+                1 => out.push_str("\n\t"),
+                2 => out.push_str(" \n "),
+                3 => out.push('\t'),
+                _ => out.push(' '),
+            }
+            if rng.chance(1, 16) {
+                out.push_str("# client comment\n");
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Re-spell `text` using a PREFIX alias: a `PREFIX {alias}: <{base}>`
+/// prologue is prepended and every full-IRI occurrence `<{base}{local}>`
+/// whose local part is a simple name becomes `{alias}:{local}`. Parses to
+/// the same query (QNames expand right back); exercises the cache
+/// normalizer's prefix resolution.
+pub fn alias_prefix(text: &str, alias: &str, base: &str) -> String {
+    let mut out = String::with_capacity(text.len() + alias.len() + base.len() + 16);
+    out.push_str("PREFIX ");
+    out.push_str(alias);
+    out.push_str(": <");
+    out.push_str(base);
+    out.push_str(">\n");
+    let needle = format!("<{base}");
+    let mut rest = text;
+    while let Some(at) = rest.find(&needle) {
+        let local_start = at + needle.len();
+        let Some(close) = rest[local_start..].find('>') else {
+            break;
+        };
+        let local = &rest[local_start..local_start + close];
+        out.push_str(&rest[..at]);
+        if !local.is_empty()
+            && local
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            out.push_str(alias);
+            out.push(':');
+            out.push_str(local);
+        } else {
+            out.push_str(&rest[at..local_start + close + 1]);
+        }
+        rest = &rest[local_start + close + 1..];
+    }
+    out.push_str(rest);
+    out
 }
 
 pub struct Workload {
@@ -301,6 +410,57 @@ mod tests {
         assert!(a.queries.iter().all(|q| !q.pattern.is_flat()));
         // Multi-template rules exist (second template per eighth predicate).
         assert!(a.store.len() > 200);
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_and_skewed() {
+        let spec = ZipfSpec {
+            s: 1.0,
+            n_distinct: 64,
+            n_requests: 4096,
+            seed: 99,
+        };
+        let a = zipf_ranks(&spec);
+        let b = zipf_ranks(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4096);
+        assert!(a.iter().all(|&r| (r as usize) < 64));
+        // Rank 0 must dominate rank 63 by roughly its 64x weight ratio.
+        let count = |r: u32| a.iter().filter(|&&x| x == r).count();
+        let (head, tail) = (count(0), count(63));
+        assert!(head > 10 * tail.max(1), "no skew: head {head}, tail {tail}");
+        // s = 0 is uniform-ish: the head must NOT dominate.
+        let uniform = zipf_ranks(&ZipfSpec { s: 0.0, ..spec });
+        let uhead = uniform.iter().filter(|&&x| x == 0).count();
+        assert!(uhead < 4096 / 16, "s=0 stream is skewed: {uhead}");
+    }
+
+    #[test]
+    fn perturbations_preserve_the_parsed_query() {
+        let spec = WorkloadSpec {
+            n_rules: 100,
+            patterns_per_query: 8,
+            n_queries: 8,
+            seed: 11,
+            group_shapes: true,
+        };
+        let mut w = generate(&spec);
+        let texts = w.query_texts();
+        let mut rng = Rng::new(5);
+        for (text, parsed) in texts.iter().zip(&w.queries) {
+            let ws = perturb_whitespace(text, &mut rng);
+            assert_eq!(
+                &parse_query(&ws, &mut w.interner).expect("whitespace perturbation parses"),
+                parsed,
+                "whitespace perturbation changed the parse of {text:?}"
+            );
+            let aliased = alias_prefix(text, "zq", "http://src.example.org/onto/");
+            assert_eq!(
+                &parse_query(&aliased, &mut w.interner).expect("aliased variant parses"),
+                parsed,
+                "prefix aliasing changed the parse of {text:?}"
+            );
+        }
     }
 
     #[test]

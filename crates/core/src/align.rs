@@ -178,6 +178,14 @@ pub struct AlignmentStore {
     /// Frozen dense dispatch tables; `None` during the build phase and on
     /// the sparse fallback path.
     dense: Option<DenseIndex>,
+    /// Monotonic rule-set revision: bumped by every `add_*`, never by
+    /// `build_dense_index` (freezing changes the lookup machinery, not the
+    /// rules). This is the generation tag the rewrite-result cache
+    /// ([`crate::cache::RewriteCache`]) stamps entries with — a post-freeze
+    /// rule load bumps it, so every cached rewrite produced under the old
+    /// rule set lazily misses, mirroring how the same `add_*` invalidates
+    /// the dense tables.
+    revision: u64,
 }
 
 impl AlignmentStore {
@@ -198,8 +206,10 @@ impl AlignmentStore {
         self.entity_idx.entry(from.raw()).or_insert(id);
         // The dense tables are a frozen snapshot; a post-freeze rule load
         // invalidates them and lookups revert to the hash fallback until
-        // the caller re-freezes.
+        // the caller re-freezes. The revision bump invalidates any
+        // rewrite-result cache keyed to the old rule set the same way.
         self.dense = None;
+        self.revision += 1;
         Ok(id)
     }
 
@@ -230,6 +240,7 @@ impl AlignmentStore {
             .push(id);
         self.rules.push(Rule::Predicate { lhs, rhs });
         self.dense = None;
+        self.revision += 1;
         Ok(id)
     }
 
@@ -352,6 +363,20 @@ impl AlignmentStore {
     /// (vs. the hash fallback).
     pub fn has_dense_index(&self) -> bool {
         self.dense.is_some()
+    }
+
+    /// Monotonic rule-set revision, bumped by every successful `add_*`.
+    ///
+    /// Use it as the generation tag for a [`crate::cache::RewriteCache`]:
+    /// stamp inserts with the revision the rewrite ran under and look up
+    /// with the current one. Rewriting is deterministic per (query text,
+    /// rule set), so equal revisions guarantee the cached text is still the
+    /// correct rewrite — and a post-freeze `add_*` bumps the revision,
+    /// making every stale entry miss without any eager scan, exactly like
+    /// the dense-index invalidation above.
+    #[inline]
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     fn next_id(&self) -> u32 {
@@ -588,6 +613,27 @@ mod tests {
         assert!(store.build_dense_index(it.symbol_bound()));
         assert_eq!(store.entity_target(as_iri), Some(tgt));
         assert_eq!(store.entity_target(as_lit), None);
+    }
+
+    #[test]
+    fn revision_bumps_on_rule_loads_only() {
+        let mut it = Interner::new();
+        let v = var(&mut it, "x");
+        let a = iri(&mut it, "http://a");
+        let b = iri(&mut it, "http://b");
+        let mut store = AlignmentStore::new();
+        assert_eq!(store.revision(), 0);
+        store.add_entity(a, b).unwrap();
+        assert_eq!(store.revision(), 1);
+        // A rejected rule changes nothing, so it must not invalidate.
+        assert!(store.add_entity(v, b).is_err());
+        assert_eq!(store.revision(), 1);
+        // Freezing changes lookup machinery, not the rule set.
+        store.build_dense_index(it.symbol_bound());
+        assert_eq!(store.revision(), 1);
+        let lhs = TriplePattern::new(v, a, v);
+        store.add_predicate(lhs, vec![lhs]).unwrap();
+        assert_eq!(store.revision(), 2);
     }
 
     #[test]

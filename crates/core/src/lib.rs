@@ -33,6 +33,14 @@
 //!   too) and expands a triple pattern matched by N predicate templates
 //!   into an N-branch UNION — the paper's union semantics — recursively
 //!   over the whole group tree.
+//! * [`cache`] exploits that rewriting is deterministic per (query text,
+//!   rule set): [`cache::fingerprint_query`] canonicalizes request text in
+//!   a single ~100ns byte-level pass (whitespace, keyword case, PREFIX
+//!   aliases) and [`cache::RewriteCache`] maps the fingerprint to the
+//!   rendered rewrite through sharded, read-lock-free seqlock slots — a
+//!   repeated query is served by normalize + hash + memcpy instead of
+//!   parse + rewrite + render, invalidated by the store's
+//!   [`align::AlignmentStore::revision`] generation tag.
 //!
 //! The engine has two phases. The **build phase** is single-threaded and
 //! mutable: parse queries and rules into an [`interner::Interner`] and an
@@ -54,6 +62,7 @@
 //! multi-threaded batch engine.
 
 pub mod align;
+pub mod cache;
 pub mod counting_alloc;
 pub mod fxhash;
 pub mod interner;
@@ -64,6 +73,7 @@ pub mod smallvec;
 pub mod term;
 
 pub use align::{AlignError, AlignmentStore, Rule};
+pub use cache::{fingerprint_query, fingerprint_raw, CacheConfig, QueryFingerprint, RewriteCache};
 pub use interner::{FrozenInterner, Interner, Resolve};
 pub use parser::{parse_bgp, parse_query, parse_query_into, ParseError, ParseScratch};
 pub use pattern::{

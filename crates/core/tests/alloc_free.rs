@@ -12,8 +12,9 @@ use std::sync::{Mutex, MutexGuard};
 
 use sparql_rewrite_core::counting_alloc::{allocation_count, CountingAllocator};
 use sparql_rewrite_core::{
-    parse_bgp, parse_query, parse_query_into, render_query_into, AlignmentStore, IndexedRewriter,
-    Interner, LinearRewriter, ParseScratch, Query, QueryRef, RewriteScratch, Rewriter,
+    fingerprint_query, parse_bgp, parse_query, parse_query_into, render_query_into, AlignmentStore,
+    CacheConfig, IndexedRewriter, Interner, LinearRewriter, ParseScratch, Query, QueryRef,
+    RewriteCache, RewriteScratch, Rewriter,
 };
 
 /// The allocation counter is process-global and the test harness runs tests
@@ -318,6 +319,42 @@ fn steady_state_parse_rewrite_render_pipeline_is_allocation_free() {
         allocation_count() - before,
         0,
         "steady-state parse → rewrite → render must not allocate"
+    );
+}
+
+#[test]
+fn cache_hit_path_is_allocation_free() {
+    let _guard = serialized();
+    // The cache probe — fingerprint, lookup, copy-out — is the entire
+    // serve path for a repeated query, so it must be as allocation-free as
+    // the pipeline it short-circuits. Fingerprinting itself must also stay
+    // clean on the miss path (it runs before every cold serve).
+    let cache = RewriteCache::new(CacheConfig::default());
+    let texts: Vec<String> = PIPELINE_TEXTS.iter().map(|t| t.to_string()).collect();
+    let fps: Vec<_> = texts
+        .iter()
+        .map(|t| fingerprint_query(t).expect("pipeline texts are cacheable"))
+        .collect();
+    for (i, fp) in fps.iter().enumerate() {
+        cache.insert(*fp, 0, format!("rendered-{i}").into_bytes().as_slice());
+    }
+    let mut buf = Vec::with_capacity(cache.value_cap());
+    // Warm pass.
+    for (text, fp) in texts.iter().zip(&fps) {
+        assert_eq!(fingerprint_query(text), Some(*fp));
+        assert!(cache.lookup(*fp, 0, &mut buf));
+    }
+    let before = allocation_count();
+    for _ in 0..1_000 {
+        for text in &texts {
+            let computed = fingerprint_query(text).expect("cacheable");
+            assert!(cache.lookup(computed, 0, &mut buf));
+        }
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "steady-state fingerprint + cache lookup must not allocate"
     );
 }
 
