@@ -110,6 +110,17 @@ impl ServeEngine {
         }
     }
 
+    /// Inserts the shared cache refused because the rendered rewrite
+    /// exceeded its value cap — requests that re-render on every arrival no
+    /// matter how hot they are. Completes the hit/miss picture: `misses -
+    /// bypass-driven re-serves` is the true cold-start count. 0 when the
+    /// engine is cache-less.
+    pub fn cache_bypasses(&self) -> u64 {
+        self.cache
+            .as_ref()
+            .map_or(0, RewriteCache::oversize_bypasses)
+    }
+
     /// A fresh worker scratch. Cloning the interner is the one deliberate
     /// startup cost; after it, the worker shares nothing mutable.
     pub fn scratch(&self) -> ServeScratch {
@@ -481,6 +492,47 @@ mod tests {
             assert_eq!(one, two);
             assert_eq!(two, three);
         }
+    }
+
+    /// Oversized rewrites bypass the cache silently on the value path —
+    /// but the engine must still count them, so operators can see repeated
+    /// queries that will never hit.
+    #[test]
+    fn oversized_rewrites_are_counted_as_bypasses() {
+        let spec = WorkloadSpec {
+            n_rules: 300,
+            patterns_per_query: 8,
+            n_queries: 4,
+            seed: 0xbead_cafe,
+            group_shapes: false,
+        };
+        // 64-byte cap: every rendered rewrite in this workload exceeds it.
+        let (cached, _cold, requests) = cached_and_cold(
+            &spec,
+            Some(CacheConfig {
+                shards: 1,
+                slots_per_shard: 16,
+                value_cap: 64,
+            }),
+        );
+        assert_eq!(cached.cache_bypasses(), 0);
+        let mut scratch = cached.scratch();
+        for req in &requests {
+            cached.serve(req, &mut scratch).unwrap();
+        }
+        let after_first = cached.cache_bypasses();
+        assert!(
+            after_first >= requests.len() as u64,
+            "expected one bypass per oversized serve, saw {after_first}"
+        );
+        // Re-serving the same requests can't hit (nothing was cached) and
+        // keeps counting bypasses.
+        let hits_before = scratch.cache_hits();
+        for req in &requests {
+            cached.serve(req, &mut scratch).unwrap();
+        }
+        assert_eq!(scratch.cache_hits(), hits_before);
+        assert!(cached.cache_bypasses() > after_first);
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //!
 //! Every config has a stable slash-separated name (`rewrite/flat/indexed/
 //! 10k/8p`, `end_to_end/group/10k`, `end_to_end/cached/zipf/10k`,
-//! `thread_scaling`, `end_to_end/threads`); `--filter <substring>` reruns
-//! just the matching sections without the full grid.
+//! `thread_scaling`, `end_to_end/threads`, `federation/soak`); `--filter
+//! <substring>` reruns just the matching sections without the full grid.
 //!
 //! The `end_to_end/cached/*` configs serve a Zipfian(1.0) request stream —
 //! each logical query re-sent under rotating whitespace / PREFIX-alias
@@ -31,6 +31,13 @@
 //! serve path loses its ≥10x (full) / ≥5x (quick) speedup, its ≥0.9 hit
 //! rate, or its zero-allocation hit path — so CI's `--quick` smoke run
 //! fails loudly on perf regressions in the serve path.
+//!
+//! The `federation/soak` leg streams Zipfian federated queries against four
+//! fault-injected mock endpoints (30% transient failures, one flapping) —
+//! twice, with identical seeds — and gates robustness instead of speed:
+//! zero panics, byte-identical partial-result transcripts, converged
+//! breaker states, and the deadline ceiling (deadline + one backoff
+//! quantum) on every endpoint outcome.
 
 mod bench;
 mod engine;
@@ -47,9 +54,13 @@ use json::{array, JsonObject};
 use parallel::BatchEngine;
 use sparql_rewrite_core::counting_alloc::{allocation_count, CountingAllocator};
 use sparql_rewrite_core::{
-    CacheConfig, IndexedRewriter, Interner, LinearRewriter, RewriteScratch, Rewriter,
+    CacheConfig, EndpointOutcome, ExecutorConfig, FaultSpec, FederatedExecutor, IndexedRewriter,
+    Interner, LinearRewriter, MockTransport, RewriteLimits, RewriteScratch, Rewriter,
 };
-use workload::{alias_prefix, generate, perturb_whitespace, Rng, WorkloadSpec, ZipfSpec};
+use workload::{
+    alias_prefix, generate, generate_federation, perturb_whitespace, FederationSpec, Rng,
+    WorkloadSpec, ZipfSpec,
+};
 
 // Counting allocator (shared with the core crate's alloc_free test) so the
 // harness can report — and gate on — allocations per steady-state rewrite.
@@ -245,6 +256,10 @@ struct CachedResult {
     speedup_vs_cold: f64,
     /// Steady-state hit rate over one full pass of the stream.
     hit_rate: f64,
+    /// Rewrites whose rendered text exceeded the per-value cap and skipped
+    /// the cache entirely (should be 0 on this workload — a nonzero count
+    /// means repeated queries silently lost caching).
+    oversize_bypasses: u64,
     /// Heap allocations per serve at steady state (hit path dominated).
     allocs_per_serve: f64,
     stats: Stats,
@@ -364,6 +379,7 @@ fn run_cached_config(
         cold_ns_per_request,
         speedup_vs_cold: cold_ns_per_request / ns_per_request,
         hit_rate,
+        oversize_bypasses: cached_engine.cache_bypasses(),
         allocs_per_serve,
         stats,
     }
@@ -505,6 +521,147 @@ fn run_e2e_thread_scaling(quick: bool, thread_counts: &[usize]) -> Vec<ThreadRes
         });
     }
     results
+}
+
+/// Outcome of the fault-injection soak: a Zipfian stream of planned
+/// federated queries dispatched twice against identically seeded mock
+/// endpoints. The soak gates robustness properties (no panics, identical
+/// transcripts, breaker convergence, the deadline ceiling) rather than
+/// throughput — `dispatches_per_sec` is informational.
+struct FederationSoak {
+    name: String,
+    n_endpoints: usize,
+    n_distinct: usize,
+    n_requests: usize,
+    served: u64,
+    timed_out: u64,
+    circuit_open: u64,
+    exhausted: u64,
+    dispatches_per_sec: f64,
+    deterministic: bool,
+    breaker_converged: bool,
+    deadline_respected: bool,
+    panicked: bool,
+}
+
+/// Fault-injection soak: four mock endpoints at a 30% transient-failure
+/// rate (the last one also flapping in windows, so circuit breakers trip
+/// and probe during the stream), serving a Zipfian(1.0) mix of federated
+/// query plans. The identical stream runs twice with fresh, identically
+/// seeded executor + transport pairs; the concatenated canonical
+/// transcripts must be byte-identical and the final per-endpoint breaker
+/// states equal — the concurrency-determinism acceptance gate.
+fn run_federation_soak(quick: bool) -> FederationSoak {
+    const N_ENDPOINTS: usize = 4;
+    let spec = FederationSpec {
+        n_endpoints: N_ENDPOINTS,
+        rules_per_endpoint: if quick { 64 } else { 256 },
+        n_queries: 32,
+        patterns_per_query: 8,
+        seed: 0xfed5_0a4b,
+    };
+    let w = generate_federation(&spec);
+    // One seeded chain feeds everything downstream: executor jitter, mock
+    // fault schedules, and the request mix all trace back to the workload
+    // seed, so the whole soak replays from a single number.
+    let mut seeds = Rng::new(spec.seed);
+    let exec_seed = seeds.next_u64();
+    let fault_seed = seeds.next_u64();
+    let zipf_seed = seeds.next_u64();
+
+    let limits = RewriteLimits::with_union_branch_cap(1024);
+    let plans: Vec<_> = w
+        .queries
+        .iter()
+        .map(|q| {
+            w.planner
+                .plan(q.as_ref(), &w.interner, limits)
+                .expect("soak workload stays under the UNION branch cap")
+        })
+        .collect();
+    let n_requests = if quick { 400 } else { 2_000 };
+    let ranks = workload::zipf_ranks(&ZipfSpec {
+        s: 1.0,
+        n_distinct: plans.len(),
+        n_requests,
+        seed: zipf_seed,
+    });
+
+    let config = ExecutorConfig {
+        seed: exec_seed,
+        ..ExecutorConfig::default()
+    };
+    let mut fault_specs = vec![FaultSpec::transient(30); N_ENDPOINTS];
+    // The last endpoint also flaps in 40-request windows: whole-window
+    // outages on top of the 30% transient floor drive its breaker through
+    // open and half-open states during the stream.
+    fault_specs[N_ENDPOINTS - 1].flap_period = 40;
+
+    // Acceptance ceiling: elapsed virtual time never exceeds the deadline
+    // by more than one backoff quantum. (The executor actually clamps at
+    // the deadline exactly; the gate allows the documented slack.)
+    let ceiling = config.deadline_nanos + config.backoff.max_nanos;
+
+    let run_once = || {
+        let executor = FederatedExecutor::new(
+            MockTransport::new(fault_seed, fault_specs.clone()),
+            N_ENDPOINTS,
+            config,
+        );
+        let mut transcript = String::new();
+        let mut tallies = [0u64; 4]; // served / timed out / circuit open / exhausted
+        let mut within_ceiling = true;
+        for &rank in &ranks {
+            let result = executor.execute(&plans[rank as usize].endpoints);
+            for report in &result.reports {
+                match report.outcome {
+                    EndpointOutcome::Served { latency_nanos, .. } => {
+                        tallies[0] += 1;
+                        within_ceiling &= latency_nanos <= ceiling;
+                    }
+                    EndpointOutcome::TimedOut { elapsed_nanos, .. } => {
+                        tallies[1] += 1;
+                        within_ceiling &= elapsed_nanos <= ceiling;
+                    }
+                    EndpointOutcome::CircuitOpen { .. } => tallies[2] += 1,
+                    EndpointOutcome::ExhaustedRetries { .. } => tallies[3] += 1,
+                }
+            }
+            transcript.push_str(&result.canonical_text());
+        }
+        (
+            transcript,
+            executor.breaker_states(),
+            tallies,
+            within_ceiling,
+        )
+    };
+
+    let start = std::time::Instant::now();
+    let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&run_once));
+    let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&run_once));
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let (panicked, deterministic, breaker_converged, deadline_respected, tallies) =
+        match (&first, &second) {
+            (Ok(a), Ok(b)) => (false, a.0 == b.0, a.1 == b.1, a.3 && b.3, a.2),
+            _ => (true, false, false, false, [0u64; 4]),
+        };
+    let dispatches = tallies.iter().sum::<u64>();
+    FederationSoak {
+        name: "federation/soak/zipf/4ep/30pct".to_string(),
+        n_endpoints: N_ENDPOINTS,
+        n_distinct: plans.len(),
+        n_requests,
+        served: tallies[0],
+        timed_out: tallies[1],
+        circuit_open: tallies[2],
+        exhausted: tallies[3],
+        dispatches_per_sec: (2 * dispatches) as f64 / elapsed,
+        deterministic,
+        breaker_converged,
+        deadline_respected,
+        panicked,
+    }
 }
 
 fn main() {
@@ -739,6 +896,22 @@ fn main() {
     } else {
         None
     };
+    let federation = if selected("federation/soak") {
+        eprintln!("federation soak (4 mock endpoints, 30% transient faults, one flapping, Zipfian stream x2 runs):");
+        let f = run_federation_soak(quick);
+        eprintln!(
+            "  {:>4} requests -> served {:>5}  timed_out {:>4}  circuit_open {:>4}  \
+             exhausted {:>4}  ({:.0} dispatches/sec)",
+            f.n_requests, f.served, f.timed_out, f.circuit_open, f.exhausted, f.dispatches_per_sec
+        );
+        eprintln!(
+            "  deterministic={} breaker_converged={} deadline_respected={} panicked={}",
+            f.deterministic, f.breaker_converged, f.deadline_respected, f.panicked
+        );
+        Some(f)
+    } else {
+        None
+    };
 
     let max_allocs = results
         .iter()
@@ -839,6 +1012,7 @@ fn main() {
             .num("cold_ns_per_request_median", r.cold_ns_per_request)
             .num("speedup_vs_cold", r.speedup_vs_cold)
             .num("hit_rate", r.hit_rate)
+            .int("oversize_bypasses", r.oversize_bypasses)
             .num("allocs_per_serve", r.allocs_per_serve)
             .num("sample_mean_ns", r.stats.mean_ns)
             .num("sample_stddev_ns", r.stats.stddev_ns)
@@ -957,6 +1131,25 @@ fn main() {
             &scaling_json(rs, "queries_per_sec"),
         );
     }
+    if let Some(f) = &federation {
+        let total = (f.served + f.timed_out + f.circuit_open + f.exhausted).max(1);
+        let mut o = JsonObject::new();
+        o.str("name", &f.name)
+            .int("n_endpoints", f.n_endpoints as u64)
+            .int("n_distinct_queries", f.n_distinct as u64)
+            .int("n_requests_per_run", f.n_requests as u64)
+            .int("served", f.served)
+            .int("timed_out", f.timed_out)
+            .int("circuit_open", f.circuit_open)
+            .int("exhausted_retries", f.exhausted)
+            .num("served_pct", 100.0 * f.served as f64 / total as f64)
+            .num("dispatches_per_sec", f.dispatches_per_sec)
+            .int("deterministic", u64::from(f.deterministic))
+            .int("breaker_converged", u64::from(f.breaker_converged))
+            .int("deadline_respected", u64::from(f.deadline_respected))
+            .int("panicked", u64::from(f.panicked));
+        root.raw("federation", &o.finish());
+    }
     root.raw("summary", &summary.finish());
     let doc = root.finish();
 
@@ -1070,6 +1263,46 @@ fn main() {
     if let Some(s) = &scaling {
         if !s.deterministic {
             failures.push("parallel batch output diverged from the 1-thread rewrite".to_string());
+        }
+    }
+    // Federation soak gates: robustness properties, not throughput. Each
+    // failure below means fault tolerance regressed — a panic escaped the
+    // executor, identically seeded runs diverged (scheduling leaked into
+    // results), breakers ended in different states, an endpoint overshot
+    // the deadline ceiling, or the fault injection silently stopped
+    // exercising the degraded paths.
+    if let Some(f) = &federation {
+        if f.panicked {
+            failures.push("federation soak panicked under fault injection".to_string());
+        }
+        if !f.deterministic {
+            failures.push(
+                "federated partial-result transcripts diverged across identical-seed runs"
+                    .to_string(),
+            );
+        }
+        if !f.breaker_converged {
+            failures.push(
+                "per-endpoint breaker states did not converge across identical-seed runs"
+                    .to_string(),
+            );
+        }
+        if !f.deadline_respected {
+            failures.push(
+                "a federated dispatch exceeded the deadline by more than one backoff quantum"
+                    .to_string(),
+            );
+        }
+        if f.served == 0 {
+            failures.push(
+                "federation soak served nothing — partial-result degradation is broken".to_string(),
+            );
+        }
+        if f.timed_out + f.circuit_open + f.exhausted == 0 {
+            failures.push(
+                "federation soak saw no degraded outcomes — fault injection is not firing"
+                    .to_string(),
+            );
         }
     }
     if !failures.is_empty() {

@@ -10,10 +10,11 @@
 //! workloads.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use sparql_rewrite_core::{
-    parse_query, AlignmentStore, Bgp, GroupPattern, Interner, Query, SelectList, Term,
-    TriplePattern,
+    parse_query, AlignmentStore, Bgp, FederationPlanner, GroupPattern, Interner, Query, SelectList,
+    Term, TriplePattern,
 };
 
 /// xorshift64* — tiny, fast, deterministic; no `rand` crate in the offline
@@ -372,6 +373,139 @@ fn group_query_text(
     );
 }
 
+/// Shape of a federated workload: `n_endpoints` members, each with its own
+/// vocabulary (`http://ep{e}.example.org/onto/p{i}`) and rule set, plus
+/// queries whose patterns mix predicates from every member (and some no
+/// member knows) so the planner's partitioning has real work to do.
+pub struct FederationSpec {
+    pub n_endpoints: usize,
+    pub rules_per_endpoint: usize,
+    pub n_queries: usize,
+    pub patterns_per_query: usize,
+    pub seed: u64,
+}
+
+pub struct FederationWorkload {
+    pub interner: Interner,
+    /// Planner with every endpoint's store registered, dense indexes built.
+    pub planner: FederationPlanner,
+    pub queries: Vec<Query>,
+}
+
+/// Build a federated workload from a seed. Every eighth predicate per
+/// endpoint carries a second template, so partition rewrites grow UNION
+/// branches; ~15% of query patterns use predicates no endpoint aligns,
+/// exercising the residual (local) partition.
+pub fn generate_federation(spec: &FederationSpec) -> FederationWorkload {
+    assert!(
+        spec.n_endpoints > 0,
+        "federation needs at least one endpoint"
+    );
+    let mut rng = Rng::new(spec.seed);
+    let mut interner = Interner::new();
+    let mut name = String::with_capacity(64);
+    let iri = |interner: &mut Interner, name: &mut String, base: &str, i: usize| -> Term {
+        name.clear();
+        name.push_str(base);
+        name.push_str(&i.to_string());
+        Term::iri(interner.intern(name))
+    };
+    let var_s = Term::var(interner.intern("s"));
+    let var_o = Term::var(interner.intern("o"));
+
+    let mut stores = Vec::with_capacity(spec.n_endpoints);
+    let mut endpoint_terms = Vec::with_capacity(spec.n_endpoints);
+    let mut pred_pools: Vec<Vec<Term>> = Vec::with_capacity(spec.n_endpoints);
+    for e in 0..spec.n_endpoints {
+        let mut store = AlignmentStore::new();
+        let onto = format!("http://ep{e}.example.org/onto/p");
+        let tgt_base = format!("http://ep{e}.example.org/tgt/p");
+        let mut preds = Vec::with_capacity(spec.rules_per_endpoint);
+        for i in 0..spec.rules_per_endpoint {
+            let src = iri(&mut interner, &mut name, &onto, i);
+            let tgt = iri(&mut interner, &mut name, &tgt_base, i);
+            preds.push(src);
+            store
+                .add_predicate(
+                    TriplePattern::new(var_s, src, var_o),
+                    vec![TriplePattern::new(var_s, tgt, var_o)],
+                )
+                .expect("valid template");
+            if i % 8 == 0 {
+                let alt = iri(
+                    &mut interner,
+                    &mut name,
+                    &format!("http://ep{e}.example.org/alt/p"),
+                    i,
+                );
+                store
+                    .add_predicate(
+                        TriplePattern::new(var_s, src, var_o),
+                        vec![TriplePattern::new(var_s, alt, var_o)],
+                    )
+                    .expect("valid template");
+            }
+        }
+        endpoint_terms.push(Term::iri(
+            interner.intern(&format!("http://ep{e}.example.org/sparql")),
+        ));
+        stores.push(store);
+        pred_pools.push(preds);
+    }
+
+    let mut miss_preds = Vec::with_capacity(32);
+    for i in 0..32 {
+        miss_preds.push(iri(
+            &mut interner,
+            &mut name,
+            "http://nobody.example.org/onto/p",
+            i,
+        ));
+    }
+    let mut vars = Vec::with_capacity(32);
+    for i in 0..32 {
+        name.clear();
+        name.push('v');
+        name.push_str(&i.to_string());
+        vars.push(Term::var(interner.intern(&name)));
+    }
+
+    let mut queries = Vec::with_capacity(spec.n_queries);
+    for _ in 0..spec.n_queries {
+        let mut patterns = Vec::with_capacity(spec.patterns_per_query);
+        for k in 0..spec.patterns_per_query {
+            let p = if rng.chance(85, 100) {
+                let pool = &pred_pools[rng.below(spec.n_endpoints)];
+                pool[rng.below(pool.len())]
+            } else {
+                miss_preds[rng.below(miss_preds.len())]
+            };
+            patterns.push(TriplePattern::new(
+                vars[k % vars.len()],
+                p,
+                vars[(k + 1) % vars.len()],
+            ));
+        }
+        queries.push(Query {
+            select: SelectList::Star,
+            pattern: GroupPattern::from_bgp(&Bgp::new(patterns)),
+        });
+    }
+
+    // Dense indexes last, sized by the final symbol bound, so every
+    // endpoint's candidate lookups take the O(1) path the planner reads.
+    let mut planner = FederationPlanner::new();
+    for (mut store, term) in stores.into_iter().zip(endpoint_terms) {
+        assert!(store.build_dense_index(interner.symbol_bound()));
+        planner.add_endpoint(term, Arc::new(store));
+    }
+    FederationWorkload {
+        interner,
+        planner,
+        queries,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +595,48 @@ mod tests {
                 "prefix aliasing changed the parse of {text:?}"
             );
         }
+    }
+
+    #[test]
+    fn federation_workload_is_deterministic_and_partitions() {
+        let spec = FederationSpec {
+            n_endpoints: 4,
+            rules_per_endpoint: 64,
+            n_queries: 12,
+            patterns_per_query: 8,
+            seed: 21,
+        };
+        let a = generate_federation(&spec);
+        let b = generate_federation(&spec);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.planner.n_endpoints(), 4);
+        // Plans are deterministic and the query mix reaches multiple
+        // endpoints plus the residual partition across the set.
+        let mut multi_endpoint = false;
+        let mut any_residual = false;
+        for q in &a.queries {
+            let plan = a
+                .planner
+                .plan(
+                    q.as_ref(),
+                    &a.interner,
+                    sparql_rewrite_core::RewriteLimits::unbounded(),
+                )
+                .unwrap();
+            let plan_b = b
+                .planner
+                .plan(
+                    q.as_ref(),
+                    &b.interner,
+                    sparql_rewrite_core::RewriteLimits::unbounded(),
+                )
+                .unwrap();
+            assert_eq!(plan.annotated, plan_b.annotated);
+            multi_endpoint |= plan.endpoints.len() >= 2;
+            any_residual |= plan.n_residual_patterns > 0;
+        }
+        assert!(multi_endpoint, "no query spanned two endpoints");
+        assert!(any_residual, "no query kept a residual pattern");
     }
 
     #[test]

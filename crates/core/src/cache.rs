@@ -670,6 +670,11 @@ struct Shard {
     /// Racing reads of words being overwritten are defined behavior; the
     /// seqlock version check discards torn copies.
     pool: Box<[AtomicU64]>,
+    /// Inserts refused because the value exceeded `value_cap`. Oversized
+    /// rewrites (UNION blowups) are the queries that would benefit most
+    /// from caching, so the bypass rate is an observability signal, not
+    /// noise — surfaced via [`RewriteCache::oversize_bypasses`].
+    bypassed: AtomicU64,
 }
 
 /// Sharded, read-lock-free map from [`QueryFingerprint`] to rendered
@@ -701,6 +706,7 @@ impl RewriteCache {
                 pool: (0..n_slots * words_per_slot)
                     .map(|_| AtomicU64::new(0))
                     .collect(),
+                bypassed: AtomicU64::new(0),
             })
             .collect();
         RewriteCache {
@@ -720,6 +726,16 @@ impl RewriteCache {
     /// Total slot capacity across all shards.
     pub fn capacity(&self) -> usize {
         self.shards.len() * self.shards[0].slots.len()
+    }
+
+    /// Inserts refused because the value exceeded [`RewriteCache::value_cap`]
+    /// — queries that will re-render on every request. Summed across
+    /// shards; monotone over the cache's lifetime.
+    pub fn oversize_bypasses(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.bypassed.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Shard for a fingerprint (high hash bits) and home slot within it
@@ -793,15 +809,18 @@ impl RewriteCache {
     }
 
     /// Insert `value` for `fp` under generation `gen`. Values longer than
-    /// [`RewriteCache::value_cap`] are silently not cached. Writers
-    /// serialize per shard behind a spinlock; victim choice is: refresh the
-    /// matching entry, else a never-written slot, else a stale-generation
-    /// entry, else CLOCK second-chance over the probe window.
+    /// [`RewriteCache::value_cap`] are not cached — the bypass is counted
+    /// per shard and surfaced by [`RewriteCache::oversize_bypasses`].
+    /// Writers serialize per shard behind a spinlock; victim choice is:
+    /// refresh the matching entry, else a never-written slot, else a
+    /// stale-generation entry, else CLOCK second-chance over the probe
+    /// window.
     pub fn insert(&self, fp: QueryFingerprint, gen: u64, value: &[u8]) {
+        let (shard, home) = self.place(fp);
         if value.len() > self.value_cap {
+            shard.bypassed.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let (shard, home) = self.place(fp);
         let mask = shard.slots.len() - 1;
         while shard.lock.swap(1, Ordering::Acquire) != 0 {
             std::hint::spin_loop();
@@ -1024,10 +1043,18 @@ mod tests {
         cache.insert(k, 0, b"rewritten-0b");
         assert!(cache.lookup(k, 0, &mut buf));
         assert_eq!(buf, b"rewritten-0b");
-        // Oversized values are not cached.
+        // Oversized values are not cached — and each refusal is counted.
+        assert_eq!(cache.oversize_bypasses(), 0);
         let big = fp("SELECT * WHERE { ?s <http://big> ?o }");
         cache.insert(big, 0, &[b'x'; 65]);
         assert!(!cache.lookup(big, 0, &mut buf));
+        assert_eq!(cache.oversize_bypasses(), 1);
+        cache.insert(big, 0, &[b'x'; 200]);
+        assert_eq!(cache.oversize_bypasses(), 2);
+        // A value exactly at the cap is cacheable, not a bypass.
+        cache.insert(big, 0, &[b'y'; 64]);
+        assert!(cache.lookup(big, 0, &mut buf));
+        assert_eq!(cache.oversize_bypasses(), 2);
     }
 
     #[test]

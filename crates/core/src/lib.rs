@@ -41,6 +41,15 @@
 //!   repeated query is served by normalize + hash + memcpy instead of
 //!   parse + rewrite + render, invalidated by the store's
 //!   [`align::AlignmentStore::revision`] generation tag.
+//! * [`federate`] turns N per-endpoint [`align::AlignmentStore`]s into a
+//!   fault-tolerant dispatch plan: patterns are partitioned by which
+//!   endpoint's rules can rewrite them (O(1) candidate-count reads double
+//!   as the statistics-free selectivity signal for ordering), rendered as
+//!   `SERVICE`-annotated subqueries, and executed concurrently on a
+//!   hand-rolled thread pool over a pluggable
+//!   [`federate::EndpointTransport`] — each endpoint wrapped in deadlines,
+//!   seeded-jitter retries, and a circuit breaker, degrading to
+//!   deterministic partial results instead of all-or-nothing.
 //!
 //! The engine has two phases. The **build phase** is single-threaded and
 //! mutable: parse queries and rules into an [`interner::Interner`] and an
@@ -64,6 +73,7 @@
 pub mod align;
 pub mod cache;
 pub mod counting_alloc;
+pub mod federate;
 pub mod fxhash;
 pub mod interner;
 pub mod parser;
@@ -74,11 +84,19 @@ pub mod term;
 
 pub use align::{AlignError, AlignmentStore, Rule};
 pub use cache::{fingerprint_query, fingerprint_raw, CacheConfig, QueryFingerprint, RewriteCache};
+pub use federate::{
+    BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker, EndpointId, EndpointOutcome,
+    EndpointPlan, EndpointReport, EndpointTransport, ExecutorConfig, FaultSpec, FederatedExecutor,
+    FederatedResult, FederationPlan, FederationPlanner, MockTransport, TransportError,
+    TransportReply, TransportRequest,
+};
 pub use interner::{FrozenInterner, Interner, Resolve};
 pub use parser::{parse_bgp, parse_query, parse_query_into, ParseError, ParseScratch};
 pub use pattern::{
     render_query_into, Bgp, ChainBuilder, CmpOp, ExprNode, GroupPattern, PatternNode, Query,
     QueryRef, SelectList, TriplePattern, NO_NODE,
 };
-pub use rewriter::{IndexedRewriter, LinearRewriter, RewriteScratch, Rewriter};
+pub use rewriter::{
+    IndexedRewriter, LinearRewriter, RewriteError, RewriteLimits, RewriteScratch, Rewriter,
+};
 pub use term::{Symbol, Term, TermKind};

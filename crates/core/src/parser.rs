@@ -23,8 +23,9 @@
 //! `<=`, `>`, `>=`) and logical (`&&`, `||`, `!`) expressions over
 //! variables, IRIs, and literals. Bare numeric (`42`, `3.14`, `-7`) and
 //! boolean (`true` / `false`) tokens are sugar for xsd-typed literals.
-//! GRAPH/SERVICE/MINUS remain out of scope (see ROADMAP: federation) and
-//! produce a parse error.
+//! `SERVICE <endpoint> { ... }` (endpoint an IRI or a variable) parses to a
+//! [`PatternNode::Service`] group for the federation layer. GRAPH/MINUS
+//! remain out of scope and produce a parse error.
 //!
 //! Parse errors carry the byte offset of the **start** of the offending
 //! token (not wherever the tokenizer cursor happens to sit after
@@ -857,8 +858,39 @@ impl<'a, 'i, 'p> Parser<'a, 'i, 'p> {
                     self.skip_optional_dot()?;
                     run_start = out.triples.len();
                 }
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("SERVICE") => {
+                    flush_run!();
+                    self.next_token()?;
+                    let tok = self.expect("endpoint after SERVICE")?;
+                    let endpoint = match tok {
+                        Token::IriRef(iri) => Term::iri(self.interner.intern(iri)),
+                        Token::QName(q) => self.intern_qname(q)?,
+                        Token::Var(v) => Term::var(self.interner.intern(v)),
+                        other => {
+                            return Err(self.err(format!(
+                                "SERVICE endpoint must be an IRI or a variable, found {other:?}"
+                            )))
+                        }
+                    };
+                    match self.expect("'{' after SERVICE endpoint")? {
+                        Token::LBrace => {}
+                        other => {
+                            return Err(self.err(format!(
+                                "expected '{{' after SERVICE endpoint, found {other:?}"
+                            )))
+                        }
+                    }
+                    let inner = self.parse_group_body(out)?;
+                    let node = out.push_node(PatternNode::Service {
+                        endpoint,
+                        first: inner,
+                    });
+                    chain.push(out, node);
+                    self.skip_optional_dot()?;
+                    run_start = out.triples.len();
+                }
                 Some(Token::Word(w))
-                    if ["GRAPH", "SERVICE", "MINUS"]
+                    if ["GRAPH", "MINUS"]
                         .iter()
                         .any(|kw| w.eq_ignore_ascii_case(kw)) =>
                 {
@@ -1123,6 +1155,37 @@ mod tests {
     }
 
     #[test]
+    fn parses_service_groups() {
+        let (q, it) = parse(
+            "PREFIX fed: <http://fed.example.org/> SELECT * WHERE { \
+             ?s <http://p> ?o . \
+             SERVICE fed:sparql { ?s <http://q> ?r . OPTIONAL { ?r <http://t> ?u } } \
+             SERVICE ?ep { ?a <http://b> ?c } }",
+        );
+        let kinds: Vec<_> = q
+            .pattern
+            .root_children()
+            .map(|c| q.pattern.nodes[c as usize])
+            .collect();
+        assert_eq!(kinds.len(), 3);
+        assert!(matches!(kinds[0], PatternNode::Triples { len: 1, .. }));
+        let PatternNode::Service { endpoint, first } = kinds[1] else {
+            panic!("expected Service, got {:?}", kinds[1]);
+        };
+        assert!(endpoint.is_iri());
+        assert_eq!(
+            it.resolve(endpoint.symbol()),
+            "http://fed.example.org/sparql"
+        );
+        assert_eq!(q.pattern.children_from(first).count(), 2);
+        let PatternNode::Service { endpoint, .. } = kinds[2] else {
+            panic!("expected Service, got {:?}", kinds[2]);
+        };
+        assert!(endpoint.is_var());
+        assert_eq!(it.resolve(endpoint.symbol()), "ep");
+    }
+
+    #[test]
     fn single_braced_group_is_not_a_union() {
         let (q, _) = parse("SELECT * WHERE { { ?s <http://p> ?o } }");
         let kinds: Vec<_> = q
@@ -1310,6 +1373,11 @@ mod tests {
         let input = "SELECT * WHERE { ?s ?p ; ?o }";
         let err = parse_query(input, &mut it).unwrap_err();
         assert_eq!(err.offset, input.find(';').unwrap(), "{err}");
+
+        // Illegal SERVICE endpoint: offset of the endpoint token itself.
+        let input = "SELECT * WHERE { SERVICE \"lit\" { ?s <http://p> ?o } }";
+        let err = parse_query(input, &mut it).unwrap_err();
+        assert_eq!(err.offset, input.find('"').unwrap(), "{err}");
     }
 
     #[test]
@@ -1383,6 +1451,16 @@ mod tests {
             "SELECT * WHERE { OPTIONAL ?s }",
             "SELECT * WHERE { GRAPH <http://g> { ?s ?p ?o } }",
             "SELECT * WHERE { ?s ?p ?o } trailing",
+            // SERVICE truncations and malformed endpoints.
+            "SELECT * WHERE { SERVICE",
+            "SELECT * WHERE { SERVICE }",
+            "SELECT * WHERE { SERVICE <http://e>",
+            "SELECT * WHERE { SERVICE <http://e> }",
+            "SELECT * WHERE { SERVICE <http://e> { ?s ?p ?o }",
+            "SELECT * WHERE { SERVICE \"lit\" { ?s ?p ?o } }",
+            "SELECT * WHERE { SERVICE _:b { ?s ?p ?o } }",
+            "SELECT * WHERE { SERVICE 42 { ?s ?p ?o } }",
+            "SELECT * WHERE { SERVICE und:decl { ?s ?p ?o } }",
         ];
         for q in cases {
             assert!(parse_query(q, &mut it).is_err(), "accepted {q:?}");
@@ -1399,6 +1477,8 @@ mod tests {
             "PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT ?n WHERE { ?x foaf:name ?n ; a foaf:Person }",
             "SELECT * WHERE { ?s <http://p> \"x\"@en-GB . OPTIONAL { ?s <http://q> 3.14 } \
              { ?a <http://b> true } UNION { ?d <http://e> \"y\"^^<http://t> } FILTER(?s <= 3 && !(?a = ?d)) }",
+            "SELECT ?s WHERE { ?s <http://p> ?o . SERVICE <http://fed.example.org/sparql> \
+             { ?o <http://q> ?r } SERVICE ?ep { ?r <http://t> ?u } }",
         ];
         // xorshift64* so the mutation stream is seed-stable.
         let mut state: u64 = 0x9e37_79b9_7f4a_7c15;

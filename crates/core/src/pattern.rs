@@ -169,6 +169,9 @@ pub enum PatternNode {
     Union { first: u32 },
     /// `FILTER( expr )` — `expr` is the root index into `exprs`.
     Filter { expr: u32 },
+    /// `SERVICE <endpoint> { ... }` — a federated subquery dispatched to
+    /// `endpoint` (an IRI or a variable), children chained from `first`.
+    Service { endpoint: Term, first: u32 },
 }
 
 /// A group graph pattern as a flattened, index-linked tree.
@@ -308,14 +311,18 @@ impl GroupPattern {
             .all(|c| matches!(self.nodes[c as usize], PatternNode::Triples { .. }))
     }
 
-    /// Every [`Term`] the pattern mentions: triple terms plus FILTER
-    /// expression operands.
+    /// Every [`Term`] the pattern mentions: triple terms, FILTER
+    /// expression operands, and SERVICE endpoint terms.
     pub fn terms(&self) -> impl Iterator<Item = Term> + '_ {
         self.triples
             .iter()
             .flat_map(|tp| tp.terms())
             .chain(self.exprs.iter().filter_map(|e| match e {
                 ExprNode::Term(t) => Some(*t),
+                _ => None,
+            }))
+            .chain(self.nodes.iter().filter_map(|n| match n {
+                PatternNode::Service { endpoint, .. } => Some(*endpoint),
                 _ => None,
             }))
     }
@@ -346,6 +353,16 @@ impl GroupPattern {
             (PatternNode::Filter { expr: ea }, PatternNode::Filter { expr: eb }) => {
                 self.expr_eq(ea, other, eb)
             }
+            (
+                PatternNode::Service {
+                    endpoint: ea,
+                    first: fa,
+                },
+                PatternNode::Service {
+                    endpoint: eb,
+                    first: fb,
+                },
+            ) => ea == eb && self.chain_eq(fa, other, fb),
             _ => false,
         }
     }
@@ -780,6 +797,17 @@ fn write_node<W: fmt::Write + ?Sized, R: Resolve>(
             write_expr(f, p, expr, resolver, fresh_base)?;
             f.write_str(")\n")
         }
+        PatternNode::Service { endpoint, first } => {
+            write_indent(f, depth)?;
+            f.write_str("SERVICE ")?;
+            write_term(f, endpoint, resolver, fresh_base)?;
+            f.write_str(" {\n")?;
+            for c in p.children_from(first) {
+                write_node(f, p, c, resolver, fresh_base, depth + 1)?;
+            }
+            write_indent(f, depth)?;
+            f.write_str("}\n")
+        }
     }
 }
 
@@ -1070,6 +1098,50 @@ mod tests {
              {\n    ?s2 <http://ex.org/p2> ?o2 .\n  }\n  UNION\n  {\n    ?s3 <http://ex.org/p3> ?o3 .\n  }\n  \
              FILTER(?s0 < \"3\"^^<http://www.w3.org/2001/XMLSchema#integer>)\n}"
         );
+    }
+
+    #[test]
+    fn service_node_renders_and_compares_structurally() {
+        let mut i = Interner::new();
+        let build = |i: &mut Interner, ep: Term| {
+            let mut p = GroupPattern::new();
+            let t = sample_triple(i, 0);
+            p.triples.push(t);
+            let run = p.push_node(PatternNode::Triples { start: 0, len: 1 });
+            let svc = p.push_node(PatternNode::Service {
+                endpoint: ep,
+                first: run,
+            });
+            p.root = p.push_node(PatternNode::Group { first: svc });
+            p
+        };
+        let ep = Term::iri(i.intern("http://fed.example.org/sparql"));
+        let p = build(&mut i, ep);
+        assert_eq!(
+            p.display(&i).to_string(),
+            "{\n  SERVICE <http://fed.example.org/sparql> {\n    ?s0 <http://ex.org/p0> ?o0 .\n  }\n}"
+        );
+        // Same tree, same endpoint: equal. Different endpoint: unequal.
+        assert_eq!(p, build(&mut i, ep));
+        let other = Term::iri(i.intern("http://fed.example.org/other"));
+        assert_ne!(p, build(&mut i, other));
+        // Endpoint terms participate in fresh-base computation: a service
+        // endpoint variable named g5 pushes fresh names past it.
+        let gvar = Term::var(i.intern("g5"));
+        let mut q = build(&mut i, gvar);
+        q.triples.push(TriplePattern::new(
+            Term::fresh(0),
+            Term::iri(i.intern("http://ex.org/p")),
+            Term::fresh(1),
+        ));
+        let run = q.push_node(PatternNode::Triples { start: 1, len: 1 });
+        let PatternNode::Group { first } = q.nodes[q.root as usize] else {
+            unreachable!()
+        };
+        q.next[first as usize] = run;
+        let text = q.display(&i).to_string();
+        assert!(text.contains("SERVICE ?g5 {"), "{text}");
+        assert!(text.contains("?g6 <http://ex.org/p> ?g7 ."), "{text}");
     }
 
     #[test]

@@ -96,6 +96,7 @@
 //! ```
 
 use std::borrow::Borrow;
+use std::fmt;
 use std::sync::Arc;
 
 use crate::align::{AlignmentStore, Rule};
@@ -104,6 +105,68 @@ use crate::pattern::{
     TriplePattern,
 };
 use crate::term::{Symbol, Term, TermKind};
+
+/// Structured failure of a capped rewrite. The infallible [`Rewriter`]
+/// methods run uncapped and can never observe one; the `try_*` entry points
+/// surface it instead of letting a hostile or pathological query grow the
+/// scratch without bound.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RewriteError {
+    /// Template expansion would emit more UNION branches than
+    /// [`RewriteLimits::max_union_branches`] allows. `required` is the
+    /// branch count at the moment the cap was crossed (counting only
+    /// branches minted by multi-template expansion, not UNIONs the input
+    /// already contained).
+    UnionBranchesExceeded { cap: u32, required: u32 },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::UnionBranchesExceeded { cap, required } => write!(
+                f,
+                "rewrite expansion exceeds the UNION branch cap: {required} branches needed, cap is {cap}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Resource limits for one rewrite call, enforced by the `try_*` entry
+/// points of [`Rewriter`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RewriteLimits {
+    /// Maximum number of UNION branches multi-template expansion may mint
+    /// across one whole rewrite (paper-§4 expansion is one branch per
+    /// matching rule per pattern, so a query whose patterns each match many
+    /// templates grows multiplicatively in output size; this bounds it).
+    pub max_union_branches: u32,
+}
+
+impl RewriteLimits {
+    /// No limits — the behavior of the infallible entry points.
+    #[inline]
+    pub fn unbounded() -> RewriteLimits {
+        RewriteLimits {
+            max_union_branches: u32::MAX,
+        }
+    }
+
+    /// Cap expansion-minted UNION branches at `cap`.
+    #[inline]
+    pub fn with_union_branch_cap(cap: u32) -> RewriteLimits {
+        RewriteLimits {
+            max_union_branches: cap,
+        }
+    }
+}
+
+impl Default for RewriteLimits {
+    fn default() -> RewriteLimits {
+        RewriteLimits::unbounded()
+    }
+}
 
 /// Caller-owned scratch space for allocation-free rewriting.
 ///
@@ -132,6 +195,11 @@ pub struct RewriteScratch {
     /// largest fresh counter the input already carried); newly minted
     /// existentials are `fresh_start..fresh_next`.
     fresh_start: u32,
+    /// UNION branches minted by multi-template expansion so far this call.
+    branches_emitted: u32,
+    /// Cap on `branches_emitted` for this call (set from [`RewriteLimits`]
+    /// at entry; `u32::MAX` on the infallible paths).
+    branch_limit: u32,
 }
 
 impl RewriteScratch {
@@ -198,21 +266,56 @@ pub trait Rewriter {
     /// Human-readable strategy name for benchmark output.
     fn name(&self) -> &'static str;
 
+    /// Fallible core of [`Rewriter::rewrite_bgp_into`]: enforce `limits`,
+    /// returning a [`RewriteError`] (scratch contents unspecified but safe)
+    /// when expansion would cross a cap.
+    fn try_rewrite_bgp_into(
+        &self,
+        bgp: &Bgp,
+        scratch: &mut RewriteScratch,
+        limits: RewriteLimits,
+    ) -> Result<(), RewriteError>;
+
+    /// Fallible core of [`Rewriter::rewrite_pattern_into`].
+    fn try_rewrite_pattern_into(
+        &self,
+        pattern: &GroupPattern,
+        scratch: &mut RewriteScratch,
+        limits: RewriteLimits,
+    ) -> Result<(), RewriteError>;
+
+    /// Fallible core of [`Rewriter::rewrite_ref_into`].
+    fn try_rewrite_ref_into(
+        &self,
+        query: QueryRef<'_>,
+        scratch: &mut RewriteScratch,
+        limits: RewriteLimits,
+    ) -> Result<(), RewriteError>;
+
     /// Rewrite a bare BGP into `scratch` (allocation-free once warm). The
     /// result is a group pattern: multi-template matches expand to UNION
     /// nodes even when the input was flat.
-    fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch);
+    fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch) {
+        self.try_rewrite_bgp_into(bgp, scratch, RewriteLimits::unbounded())
+            .expect("unbounded rewrite cannot fail");
+    }
 
     /// Rewrite a full group graph pattern into `scratch`, recursively
     /// (allocation-free once warm).
-    fn rewrite_pattern_into(&self, pattern: &GroupPattern, scratch: &mut RewriteScratch);
+    fn rewrite_pattern_into(&self, pattern: &GroupPattern, scratch: &mut RewriteScratch) {
+        self.try_rewrite_pattern_into(pattern, scratch, RewriteLimits::unbounded())
+            .expect("unbounded rewrite cannot fail");
+    }
 
     /// Rewrite a borrowed query view into `scratch`: the projection is
     /// copied into the scratch, the pattern is rewritten (allocation-free
     /// once warm). This is the serve-pipeline entry point — the view can
     /// borrow straight out of a [`crate::parser::ParseScratch`], so no owned
     /// [`Query`] is ever assembled between parse and rewrite.
-    fn rewrite_ref_into(&self, query: QueryRef<'_>, scratch: &mut RewriteScratch);
+    fn rewrite_ref_into(&self, query: QueryRef<'_>, scratch: &mut RewriteScratch) {
+        self.try_rewrite_ref_into(query, scratch, RewriteLimits::unbounded())
+            .expect("unbounded rewrite cannot fail");
+    }
 
     /// Rewrite a full query into `scratch` (allocation-free once warm).
     fn rewrite_query_into(&self, query: &Query, scratch: &mut RewriteScratch) {
@@ -439,7 +542,7 @@ fn rewrite_run<L: RuleLookup>(
     triples: &[TriplePattern],
     scratch: &mut RewriteScratch,
     chain: &mut ChainBuilder,
-) {
+) -> Result<(), RewriteError> {
     let mut run_start = scratch.pattern.triples.len() as u32;
     // Close the triples run accumulated since `run_start`, if non-empty.
     fn flush(run_start: u32, scratch: &mut RewriteScratch, chain: &mut ChainBuilder) {
@@ -481,6 +584,18 @@ fn rewrite_run<L: RuleLookup>(
             many => {
                 // Paper §4: several applicable alignments ⇒ the union of
                 // the instantiated templates, in rule-id order.
+                let required = scratch.branches_emitted.saturating_add(many.len() as u32);
+                if required > scratch.branch_limit {
+                    // Put the id buffer back before bailing so the scratch
+                    // keeps its capacity for the next (possibly uncapped)
+                    // call.
+                    scratch.match_ids = ids;
+                    return Err(RewriteError::UnionBranchesExceeded {
+                        cap: scratch.branch_limit,
+                        required,
+                    });
+                }
+                scratch.branches_emitted = required;
                 flush(run_start, scratch, chain);
                 let mut branches = ChainBuilder::new();
                 for &id in many {
@@ -512,6 +627,7 @@ fn rewrite_run<L: RuleLookup>(
     }
     scratch.match_ids = ids;
     flush(run_start, scratch, chain);
+    Ok(())
 }
 
 /// Copy a FILTER expression tree into the scratch, applying entity
@@ -552,20 +668,20 @@ fn rewrite_node<L: RuleLookup>(
     src: &GroupPattern,
     idx: u32,
     scratch: &mut RewriteScratch,
-) -> u32 {
-    match src.nodes[idx as usize] {
+) -> Result<u32, RewriteError> {
+    Ok(match src.nodes[idx as usize] {
         PatternNode::Group { first } => {
-            let first = rewrite_children(lookup, src, first, scratch);
+            let first = rewrite_children(lookup, src, first, scratch)?;
             scratch.pattern.push_node(PatternNode::Group { first })
         }
         PatternNode::Optional { first } => {
-            let first = rewrite_children(lookup, src, first, scratch);
+            let first = rewrite_children(lookup, src, first, scratch)?;
             scratch.pattern.push_node(PatternNode::Optional { first })
         }
         PatternNode::Union { first } => {
             let mut branches = ChainBuilder::new();
             for b in src.children_from(first) {
-                let out = rewrite_node(lookup, src, b, scratch);
+                let out = rewrite_node(lookup, src, b, scratch)?;
                 branches.push(&mut scratch.pattern, out);
             }
             scratch.pattern.push_node(PatternNode::Union {
@@ -576,17 +692,29 @@ fn rewrite_node<L: RuleLookup>(
             let expr = rewrite_expr(lookup, src, expr, scratch);
             scratch.pattern.push_node(PatternNode::Filter { expr })
         }
+        // A SERVICE body is rewritten with the *same* rule set (the
+        // federation layer builds per-endpoint subqueries by rewriting each
+        // partition against that endpoint's own store); the endpoint term
+        // itself gets entity substitution so an alignment can redirect a
+        // federation member.
+        PatternNode::Service { endpoint, first } => {
+            let first = rewrite_children(lookup, src, first, scratch)?;
+            let endpoint = lookup.entity_target(endpoint).unwrap_or(endpoint);
+            scratch
+                .pattern
+                .push_node(PatternNode::Service { endpoint, first })
+        }
         // Unreachable from parser output (union branches are groups), but a
         // programmatically built pattern may put a bare run here; wrap its
         // rewrite — which can fan out into run/UNION siblings — in a group.
         PatternNode::Triples { .. } => {
             let mut chain = ChainBuilder::new();
-            rewrite_run(lookup, src.run(idx), scratch, &mut chain);
+            rewrite_run(lookup, src.run(idx), scratch, &mut chain)?;
             scratch.pattern.push_node(PatternNode::Group {
                 first: chain.first(),
             })
         }
-    }
+    })
 }
 
 /// Rewrite a sibling chain, returning the head of the output chain.
@@ -595,25 +723,31 @@ fn rewrite_children<L: RuleLookup>(
     src: &GroupPattern,
     first: u32,
     scratch: &mut RewriteScratch,
-) -> u32 {
+) -> Result<u32, RewriteError> {
     let mut chain = ChainBuilder::new();
     for ci in src.children_from(first) {
         if matches!(src.nodes[ci as usize], PatternNode::Triples { .. }) {
-            rewrite_run(lookup, src.run(ci), scratch, &mut chain);
+            rewrite_run(lookup, src.run(ci), scratch, &mut chain)?;
         } else {
-            let out = rewrite_node(lookup, src, ci, scratch);
+            let out = rewrite_node(lookup, src, ci, scratch)?;
             chain.push(&mut scratch.pattern, out);
         }
     }
-    chain.first()
+    Ok(chain.first())
 }
 
 /// Reset the scratch and run the fresh-counter pre-pass: newly minted
 /// existentials must sit above any fresh counter the input already carries
 /// (e.g. when re-rewriting a prior output).
-fn begin_rewrite(terms: impl Iterator<Item = Term>, scratch: &mut RewriteScratch) {
+fn begin_rewrite(
+    terms: impl Iterator<Item = Term>,
+    scratch: &mut RewriteScratch,
+    limits: RewriteLimits,
+) {
     scratch.pattern.clear();
     scratch.fresh_next = 0;
+    scratch.branches_emitted = 0;
+    scratch.branch_limit = limits.max_union_branches;
     for t in terms {
         if t.is_fresh() {
             scratch.fresh_next = scratch.fresh_next.max(t.fresh_index() + 1);
@@ -627,8 +761,9 @@ fn rewrite_pattern_with<L: RuleLookup>(
     lookup: &L,
     pattern: &GroupPattern,
     scratch: &mut RewriteScratch,
-) {
-    begin_rewrite(pattern.terms(), scratch);
+    limits: RewriteLimits,
+) -> Result<(), RewriteError> {
+    begin_rewrite(pattern.terms(), scratch, limits);
     scratch.pattern.nodes.reserve(pattern.nodes.len());
     scratch.pattern.next.reserve(pattern.next.len());
     scratch.pattern.triples.reserve(pattern.triples.len());
@@ -636,33 +771,45 @@ fn rewrite_pattern_with<L: RuleLookup>(
     let mut chain = ChainBuilder::new();
     for ci in pattern.root_children() {
         if matches!(pattern.nodes[ci as usize], PatternNode::Triples { .. }) {
-            rewrite_run(lookup, pattern.run(ci), scratch, &mut chain);
+            rewrite_run(lookup, pattern.run(ci), scratch, &mut chain)?;
         } else {
-            let out = rewrite_node(lookup, pattern, ci, scratch);
+            let out = rewrite_node(lookup, pattern, ci, scratch)?;
             chain.push(&mut scratch.pattern, out);
         }
     }
     scratch.pattern.root = scratch.pattern.push_node(PatternNode::Group {
         first: chain.first(),
     });
+    Ok(())
 }
 
 /// Flat-BGP entry point: the input is a single triples run under the root.
-fn rewrite_bgp_with<L: RuleLookup>(lookup: &L, bgp: &Bgp, scratch: &mut RewriteScratch) {
-    begin_rewrite(bgp.patterns.iter().flat_map(|tp| tp.terms()), scratch);
+fn rewrite_bgp_with<L: RuleLookup>(
+    lookup: &L,
+    bgp: &Bgp,
+    scratch: &mut RewriteScratch,
+    limits: RewriteLimits,
+) -> Result<(), RewriteError> {
+    begin_rewrite(
+        bgp.patterns.iter().flat_map(|tp| tp.terms()),
+        scratch,
+        limits,
+    );
     scratch.pattern.triples.reserve(bgp.patterns.len());
     let mut chain = ChainBuilder::new();
-    rewrite_run(lookup, &bgp.patterns, scratch, &mut chain);
+    rewrite_run(lookup, &bgp.patterns, scratch, &mut chain)?;
     scratch.pattern.root = scratch.pattern.push_node(PatternNode::Group {
         first: chain.first(),
     });
+    Ok(())
 }
 
 fn rewrite_query_with<L: RuleLookup>(
     lookup: &L,
     query: QueryRef<'_>,
     scratch: &mut RewriteScratch,
-) {
+    limits: RewriteLimits,
+) -> Result<(), RewriteError> {
     scratch.select.clear();
     match query.select {
         None => scratch.select_star = true,
@@ -671,7 +818,7 @@ fn rewrite_query_with<L: RuleLookup>(
             scratch.select.extend_from_slice(vars);
         }
     }
-    rewrite_pattern_with(lookup, query.pattern, scratch);
+    rewrite_pattern_with(lookup, query.pattern, scratch, limits)
 }
 
 impl<S: Borrow<AlignmentStore>> Rewriter for IndexedRewriter<S> {
@@ -679,16 +826,31 @@ impl<S: Borrow<AlignmentStore>> Rewriter for IndexedRewriter<S> {
         "indexed"
     }
 
-    fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch) {
-        rewrite_bgp_with(self, bgp, scratch);
+    fn try_rewrite_bgp_into(
+        &self,
+        bgp: &Bgp,
+        scratch: &mut RewriteScratch,
+        limits: RewriteLimits,
+    ) -> Result<(), RewriteError> {
+        rewrite_bgp_with(self, bgp, scratch, limits)
     }
 
-    fn rewrite_pattern_into(&self, pattern: &GroupPattern, scratch: &mut RewriteScratch) {
-        rewrite_pattern_with(self, pattern, scratch);
+    fn try_rewrite_pattern_into(
+        &self,
+        pattern: &GroupPattern,
+        scratch: &mut RewriteScratch,
+        limits: RewriteLimits,
+    ) -> Result<(), RewriteError> {
+        rewrite_pattern_with(self, pattern, scratch, limits)
     }
 
-    fn rewrite_ref_into(&self, query: QueryRef<'_>, scratch: &mut RewriteScratch) {
-        rewrite_query_with(self, query, scratch);
+    fn try_rewrite_ref_into(
+        &self,
+        query: QueryRef<'_>,
+        scratch: &mut RewriteScratch,
+        limits: RewriteLimits,
+    ) -> Result<(), RewriteError> {
+        rewrite_query_with(self, query, scratch, limits)
     }
 }
 
@@ -697,22 +859,92 @@ impl<S: Borrow<AlignmentStore>> Rewriter for LinearRewriter<S> {
         "linear"
     }
 
-    fn rewrite_bgp_into(&self, bgp: &Bgp, scratch: &mut RewriteScratch) {
-        rewrite_bgp_with(self, bgp, scratch);
+    fn try_rewrite_bgp_into(
+        &self,
+        bgp: &Bgp,
+        scratch: &mut RewriteScratch,
+        limits: RewriteLimits,
+    ) -> Result<(), RewriteError> {
+        rewrite_bgp_with(self, bgp, scratch, limits)
     }
 
-    fn rewrite_pattern_into(&self, pattern: &GroupPattern, scratch: &mut RewriteScratch) {
-        rewrite_pattern_with(self, pattern, scratch);
+    fn try_rewrite_pattern_into(
+        &self,
+        pattern: &GroupPattern,
+        scratch: &mut RewriteScratch,
+        limits: RewriteLimits,
+    ) -> Result<(), RewriteError> {
+        rewrite_pattern_with(self, pattern, scratch, limits)
     }
 
-    fn rewrite_ref_into(&self, query: QueryRef<'_>, scratch: &mut RewriteScratch) {
-        rewrite_query_with(self, query, scratch);
+    fn try_rewrite_ref_into(
+        &self,
+        query: QueryRef<'_>,
+        scratch: &mut RewriteScratch,
+        limits: RewriteLimits,
+    ) -> Result<(), RewriteError> {
+        rewrite_query_with(self, query, scratch, limits)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn union_branch_cap_boundary() {
+        use crate::interner::Interner;
+        use crate::parser::{parse_bgp, parse_query};
+
+        let mut it = Interner::new();
+        let mut store = AlignmentStore::new();
+        // One source predicate matched by three templates: each occurrence
+        // expands into a 3-branch UNION.
+        let lhs = parse_bgp("?a <http://src/p> ?b", &mut it).unwrap().patterns[0];
+        for n in 0..3 {
+            let rhs = parse_bgp(&format!("?a <http://tgt/p{n}> ?b"), &mut it)
+                .unwrap()
+                .patterns;
+            store.add_predicate(lhs, rhs).unwrap();
+        }
+        let query = parse_query(
+            "SELECT * WHERE { ?x <http://src/p> ?y . ?y <http://src/p> ?z }",
+            &mut it,
+        )
+        .unwrap();
+        let rw = IndexedRewriter::new(&store);
+        let mut scratch = RewriteScratch::new();
+        // Two patterns × 3 branches = 6 branches required: a cap of exactly
+        // 6 succeeds (boundary), 5 fails with the structured error.
+        rw.try_rewrite_ref_into(
+            query.as_ref(),
+            &mut scratch,
+            RewriteLimits::with_union_branch_cap(6),
+        )
+        .expect("cap == required must succeed");
+        let at_cap = scratch.to_query();
+        let err = rw
+            .try_rewrite_ref_into(
+                query.as_ref(),
+                &mut scratch,
+                RewriteLimits::with_union_branch_cap(5),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RewriteError::UnionBranchesExceeded {
+                cap: 5,
+                required: 6
+            }
+        );
+        assert!(err.to_string().contains("6 branches"), "{err}");
+        // A failed capped call must not poison the scratch: the next
+        // unbounded call produces the same result as the successful one.
+        rw.rewrite_query_into(&query, &mut scratch);
+        assert_eq!(scratch.to_query(), at_cap);
+        // Infallible path == unbounded fallible path.
+        assert_eq!(rw.rewrite_query(&query), at_cap);
+    }
 
     #[test]
     fn rewriters_over_arc_are_send_sync_static() {

@@ -22,9 +22,11 @@ impl Rng {
 }
 
 /// Random `SELECT * WHERE { ... }` text with nested groups, OPTIONAL,
-/// UNION, FILTER, and every literal form the parser sugars. The vocabulary
-/// (`http://ex/p0..11`, `http://ex/e0..19`, `?v0..7`) deliberately overlaps
-/// the rewriter property tests' random rule sets so rewrites fire.
+/// UNION, SERVICE, FILTER, and every literal form the parser sugars. The
+/// vocabulary (`http://ex/p0..11`, `http://ex/e0..19`, `?v0..7`)
+/// deliberately overlaps the rewriter property tests' random rule sets so
+/// rewrites fire — SERVICE endpoints draw from the same entity pool, so
+/// endpoint entity substitution fires too.
 pub fn random_group_query_text(rng: &mut Rng) -> String {
     fn gen_triple(rng: &mut Rng, buf: &mut String) {
         let s = rng.below(8);
@@ -59,10 +61,17 @@ pub fn random_group_query_text(rng: &mut Rng) -> String {
         buf.push_str("{ ");
         let n = 1 + rng.below(3);
         for _ in 0..n {
-            match rng.below(if depth < 2 { 6 } else { 2 }) {
+            match rng.below(if depth < 2 { 7 } else { 2 }) {
                 0 | 1 => gen_triple(rng, buf),
                 2 => {
                     buf.push_str("OPTIONAL ");
+                    gen_group(rng, buf, depth + 1);
+                }
+                5 => {
+                    match rng.below(3) {
+                        0 => buf.push_str(&format!("SERVICE ?v{} ", rng.below(8))),
+                        _ => buf.push_str(&format!("SERVICE <http://ex/e{}> ", rng.below(20))),
+                    }
                     gen_group(rng, buf, depth + 1);
                 }
                 3 => {

@@ -35,6 +35,12 @@ const QUERIES: &[&str] = &[
      { ?c <http://p3> ?d } UNION { ?c <http://p4> ?e FILTER(?e <= -7) } } ?f <http://p5> ?g }",
     "SELECT * WHERE { }",
     "SELECT * WHERE { OPTIONAL { } { } UNION { } }",
+    // SERVICE groups: IRI and variable endpoints, nesting inside and
+    // around other group constructs.
+    "SELECT * WHERE { ?s <http://ex.org/p> ?o . SERVICE <http://fed.org/sparql> { ?o <http://ex.org/q> ?r } }",
+    "SELECT ?r WHERE { SERVICE ?ep { ?o <http://ex.org/q> ?r OPTIONAL { ?r <http://ex.org/s> ?t } } }",
+    "SELECT * WHERE { SERVICE <http://a.org/> { SERVICE <http://b.org/> { ?s ?p ?o } FILTER(?o > 1) } }",
+    "SELECT * WHERE { { SERVICE ?e { ?s <http://p> 1 } } UNION { ?s <http://q> 2 } SERVICE <http://c.org/> { } }",
 ];
 
 #[test]
@@ -170,7 +176,8 @@ fn unsupported_constructs_error_cleanly() {
     let mut interner = Interner::new();
     for q in [
         "SELECT * WHERE { GRAPH <http://g> { ?s ?p ?o } }",
-        "SELECT * WHERE { ?s ?p ?o . SERVICE <http://end> { ?s ?q ?r } }",
+        // SERVICE endpoints must be IRIs or variables, not literals.
+        "SELECT * WHERE { ?s ?p ?o . SERVICE \"end\" { ?s ?q ?r } }",
         "SELECT * WHERE { ?s ?p ?o MINUS { ?s ?q ?r } }",
         // UNION must follow a braced group.
         "SELECT * WHERE { ?s ?p ?o UNION { ?s ?q ?r } }",
