@@ -14,8 +14,9 @@
 //!
 //! Every config has a stable slash-separated name (`rewrite/flat/indexed/
 //! 10k/8p`, `end_to_end/group/10k`, `end_to_end/cached/zipf/10k`,
-//! `thread_scaling`, `end_to_end/threads`, `federation/soak`); `--filter
-//! <substring>` reruns just the matching sections without the full grid.
+//! `thread_scaling`, `end_to_end/threads`, `federation/soak`,
+//! `federation/http_soak`); `--filter <substring>` reruns just the
+//! matching sections without the full grid.
 //!
 //! The `end_to_end/cached/*` configs serve a Zipfian(1.0) request stream —
 //! each logical query re-sent under rotating whitespace / PREFIX-alias
@@ -38,6 +39,17 @@
 //! zero panics, byte-identical partial-result transcripts, converged
 //! breaker states, and the deadline ceiling (deadline + one backoff
 //! quantum) on every endpoint outcome.
+//!
+//! The `federation/http_soak` leg proves the same contract over real
+//! sockets: four in-process chaos proxies inject byte-level protocol
+//! faults (refused/reset connections, slow-loris trickle, truncated and
+//! oversized bodies, malformed status lines and headers, lying
+//! Content-Length) into the blocking HTTP transport, while each request is
+//! re-planned through the planner's partition cache. Gated: zero panics,
+//! byte-identical outcome-class transcripts and fault schedules across two
+//! identical-seed runs, converged breakers, the deadline ceiling, every
+//! enabled fault class observed, and partition-cache hits on the Zipfian
+//! stream.
 
 mod bench;
 mod engine;
@@ -54,8 +66,10 @@ use json::{array, JsonObject};
 use parallel::BatchEngine;
 use sparql_rewrite_core::counting_alloc::{allocation_count, CountingAllocator};
 use sparql_rewrite_core::{
-    CacheConfig, EndpointOutcome, ExecutorConfig, FaultSpec, FederatedExecutor, IndexedRewriter,
-    Interner, LinearRewriter, MockTransport, RewriteLimits, RewriteScratch, Rewriter,
+    BackoffPolicy, BreakerConfig, CacheConfig, ChaosProxy, ChaosSpec, EndpointOutcome,
+    ExecutorConfig, FaultSpec, FederatedExecutor, HttpConfig, HttpEndpoint, HttpLimits,
+    HttpTransport, IndexedRewriter, Interner, LinearRewriter, MockTransport, RewriteLimits,
+    RewriteScratch, Rewriter,
 };
 use workload::{
     alias_prefix, generate, generate_federation, perturb_whitespace, FederationSpec, Rng,
@@ -664,6 +678,280 @@ fn run_federation_soak(quick: bool) -> FederationSoak {
     }
 }
 
+/// Outcome of the HTTP chaos soak: the same robustness contract as
+/// [`FederationSoak`], but over the real socket transport — a Zipfian
+/// stream re-planned per request (exercising the planner's partition
+/// cache) and dispatched through [`HttpTransport`] against four in-process
+/// [`ChaosProxy`] endpoints injecting byte-level protocol faults.
+struct HttpSoak {
+    name: String,
+    n_endpoints: usize,
+    n_requests: usize,
+    served: u64,
+    timed_out: u64,
+    circuit_open: u64,
+    exhausted: u64,
+    exhausted_permanent: u64,
+    /// Aggregate injections across all proxies, indexed like
+    /// [`FaultClass::ALL`].
+    injected: [u64; 9],
+    cache_hits: u64,
+    cache_misses: u64,
+    connections_reused: u64,
+    dispatches_per_sec: f64,
+    deterministic: bool,
+    breaker_converged: bool,
+    deadline_respected: bool,
+    /// Every fault class the specs enable (all nine, Healthy included)
+    /// was actually injected at least once.
+    all_faults_injected: bool,
+    panicked: bool,
+}
+
+/// HTTP chaos soak: four loopback chaos proxies — three lightly faulty,
+/// one hostile enough to trip its breaker — serve a Zipfian(1.0) stream of
+/// federated queries re-planned per request through the planner's
+/// partition cache and dispatched over real TCP. The stream runs twice
+/// with identical seeds and fresh proxies/transport/executor; transcripts
+/// record outcome *classes* (never wall-clock nanos, which real sockets
+/// make noisy), and must replay byte-identically, with converged breakers
+/// and identical fault-injection schedules.
+///
+/// Timing margins are chosen so scheduling noise cannot flip a decision:
+/// inter-request (50ms) and breaker cooldown (120ms) are *virtual* — free
+/// to make enormous next to the sub-millisecond real latencies that leak
+/// into the virtual clock — and the 250ms deadline gives loopback
+/// round-trips (~0.1ms) three orders of magnitude of headroom.
+fn run_http_soak(quick: bool) -> HttpSoak {
+    const N_ENDPOINTS: usize = 4;
+    let spec = FederationSpec {
+        n_endpoints: N_ENDPOINTS,
+        rules_per_endpoint: if quick { 64 } else { 256 },
+        n_queries: 32,
+        patterns_per_query: 8,
+        seed: 0xc4a0_55ed,
+    };
+    let mut w = generate_federation(&spec);
+    w.planner.enable_partition_cache(CacheConfig::default());
+    let mut seeds = Rng::new(spec.seed);
+    let exec_seed = seeds.next_u64();
+    let fault_seed = seeds.next_u64();
+    let zipf_seed = seeds.next_u64();
+
+    let n_requests = if quick { 120 } else { 400 };
+    let ranks = workload::zipf_ranks(&ZipfSpec {
+        s: 1.0,
+        n_distinct: w.queries.len(),
+        n_requests,
+        seed: zipf_seed,
+    });
+
+    // Three lightly faulty endpoints covering every protocol fault class
+    // between them, and one hostile enough (50% connection faults) that
+    // its breaker trips and probes during the stream.
+    let light = ChaosSpec {
+        refuse_pct: 3,
+        reset_pct: 3,
+        truncate_pct: 3,
+        wrong_len_pct: 4,
+        ..ChaosSpec::default()
+    };
+    let exotic = ChaosSpec {
+        trickle_pct: 2,
+        malformed_status_pct: 3,
+        oversized_pct: 3,
+        ..ChaosSpec::default()
+    };
+    let header_faults = ChaosSpec {
+        reset_pct: 3,
+        malformed_header_pct: 3,
+        wrong_len_pct: 4,
+        ..ChaosSpec::default()
+    };
+    let hostile = ChaosSpec {
+        refuse_pct: 18,
+        reset_pct: 18,
+        truncate_pct: 14,
+        ..ChaosSpec::default()
+    };
+    let chaos_specs = [light, exotic, header_faults, hostile];
+
+    let config = ExecutorConfig {
+        n_threads: N_ENDPOINTS,
+        deadline_nanos: 250_000_000,
+        inter_request_nanos: 50_000_000,
+        backoff: BackoffPolicy {
+            base_nanos: 2_000_000,
+            max_nanos: 10_000_000,
+            max_retries: 2,
+        },
+        breaker: BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            failure_rate_pct: 50,
+            cooldown_nanos: 120_000_000,
+            half_open_successes: 1,
+        },
+        seed: exec_seed,
+    };
+    let limits = RewriteLimits::with_union_branch_cap(1024);
+    let ceiling = config.deadline_nanos + config.backoff.max_nanos;
+
+    let run_once = || {
+        let proxies: Vec<ChaosProxy> = chaos_specs
+            .iter()
+            .enumerate()
+            .map(|(e, s)| {
+                ChaosProxy::spawn(fault_seed.wrapping_add(e as u64), *s)
+                    .expect("chaos proxy binds loopback")
+            })
+            .collect();
+        let transport = HttpTransport::new(
+            proxies
+                .iter()
+                .map(|p| HttpEndpoint::new(p.authority(), "/sparql"))
+                .collect(),
+            HttpConfig {
+                limits: HttpLimits {
+                    max_header_bytes: 16 * 1024,
+                    // Below the proxies' 256 KiB oversized announcement.
+                    max_body_bytes: 64 * 1024,
+                },
+                connect_cap_nanos: config.deadline_nanos,
+            },
+        );
+        let executor = FederatedExecutor::new(transport, N_ENDPOINTS, config);
+        let mut transcript = String::new();
+        let mut tallies = [0u64; 5]; // served/timed_out/circuit_open/exhausted/exhausted_permanent
+        let mut within_ceiling = true;
+        for (i, &rank) in ranks.iter().enumerate() {
+            let dp = w
+                .planner
+                .plan_for_dispatch(w.queries[rank as usize].as_ref(), &w.interner, limits)
+                .expect("soak workload stays under the UNION branch cap");
+            let result = executor.execute(&dp.endpoints);
+            for report in &result.reports {
+                use std::fmt::Write as _;
+                // Classes and attempts only: real-socket latencies are
+                // noise, and including them would make determinism
+                // impossible to assert.
+                let class = match report.outcome {
+                    EndpointOutcome::Served { attempts, .. } => {
+                        tallies[0] += 1;
+                        format!("served a={attempts}")
+                    }
+                    EndpointOutcome::TimedOut { attempts, .. } => {
+                        tallies[1] += 1;
+                        format!("timed_out a={attempts}")
+                    }
+                    EndpointOutcome::CircuitOpen { attempts } => {
+                        tallies[2] += 1;
+                        format!("circuit_open a={attempts}")
+                    }
+                    EndpointOutcome::ExhaustedRetries {
+                        attempts,
+                        permanent,
+                    } => {
+                        tallies[if permanent { 4 } else { 3 }] += 1;
+                        format!("exhausted a={attempts} perm={permanent}")
+                    }
+                };
+                if let EndpointOutcome::Served { latency_nanos, .. } = report.outcome {
+                    within_ceiling &= latency_nanos <= ceiling;
+                }
+                if let EndpointOutcome::TimedOut { elapsed_nanos, .. } = report.outcome {
+                    within_ceiling &= elapsed_nanos <= ceiling;
+                }
+                let _ = writeln!(
+                    transcript,
+                    "q={i} ep={} {class} breaker={:?} rows={}",
+                    report.endpoint.0,
+                    report.breaker,
+                    // Proxy bodies stamp a hash of the received subquery,
+                    // so served rows are themselves deterministic.
+                    report.rows.as_deref().unwrap_or("-"),
+                );
+            }
+        }
+        let mut injected = [0u64; 9];
+        for p in &proxies {
+            for (total, n) in injected.iter_mut().zip(p.injected_counts()) {
+                *total += n;
+            }
+        }
+        let panics = executor.caught_panics();
+        let reused = executor.transport().reused_connections();
+        (
+            transcript,
+            executor.breaker_states(),
+            tallies,
+            within_ceiling,
+            injected,
+            panics,
+            reused,
+        )
+    };
+
+    let start = std::time::Instant::now();
+    let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&run_once));
+    let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&run_once));
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let (panicked, deterministic, breaker_converged, deadline_respected, tallies, injected, reused) =
+        match (&first, &second) {
+            (Ok(a), Ok(b)) => (
+                a.5 + b.5 > 0,
+                a.0 == b.0 && a.4 == b.4,
+                a.1 == b.1,
+                a.3 && b.3,
+                a.2,
+                a.4,
+                a.6 + b.6,
+            ),
+            _ => (true, false, false, false, [0u64; 5], [0u64; 9], 0),
+        };
+    // Every class some spec enables must have fired; with all-zero pcts
+    // only Healthy is expected. The draw schedule is seeded, so this is a
+    // deterministic property of the config above, not a statistical hope.
+    let enabled = |f: fn(&ChaosSpec) -> u8| chaos_specs.iter().any(|s| f(s) > 0);
+    let expected: [bool; 9] = [
+        true, // Healthy
+        enabled(|s| s.refuse_pct),
+        enabled(|s| s.reset_pct),
+        enabled(|s| s.trickle_pct),
+        enabled(|s| s.truncate_pct),
+        enabled(|s| s.malformed_status_pct),
+        enabled(|s| s.malformed_header_pct),
+        enabled(|s| s.oversized_pct),
+        enabled(|s| s.wrong_len_pct),
+    ];
+    let all_faults_injected = expected
+        .iter()
+        .zip(injected)
+        .all(|(&want, got)| !want || got > 0);
+    let cache = w.planner.partition_cache_stats();
+    let dispatches = tallies.iter().sum::<u64>();
+    HttpSoak {
+        name: "federation/http_soak/zipf/4ep/chaos".to_string(),
+        n_endpoints: N_ENDPOINTS,
+        n_requests,
+        served: tallies[0],
+        timed_out: tallies[1],
+        circuit_open: tallies[2],
+        exhausted: tallies[3],
+        exhausted_permanent: tallies[4],
+        injected,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        connections_reused: reused,
+        dispatches_per_sec: (2 * dispatches) as f64 / elapsed,
+        deterministic,
+        breaker_converged,
+        deadline_respected,
+        all_faults_injected,
+        panicked,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -912,6 +1200,38 @@ fn main() {
     } else {
         None
     };
+    let http_soak = if selected("federation/http_soak") {
+        eprintln!(
+            "http chaos soak (4 loopback chaos proxies, byte-level protocol faults, \
+             Zipfian stream x2 runs):"
+        );
+        let h = run_http_soak(quick);
+        eprintln!(
+            "  {:>4} requests -> served {:>5}  timed_out {:>4}  circuit_open {:>4}  \
+             exhausted {:>4}+{:<3} ({:.0} dispatches/sec, {} conns reused)",
+            h.n_requests,
+            h.served,
+            h.timed_out,
+            h.circuit_open,
+            h.exhausted,
+            h.exhausted_permanent,
+            h.dispatches_per_sec,
+            h.connections_reused,
+        );
+        eprintln!(
+            "  deterministic={} breaker_converged={} deadline_respected={} \
+             all_faults_injected={} panicked={} cache_hits={}",
+            h.deterministic,
+            h.breaker_converged,
+            h.deadline_respected,
+            h.all_faults_injected,
+            h.panicked,
+            h.cache_hits,
+        );
+        Some(h)
+    } else {
+        None
+    };
 
     let max_allocs = results
         .iter()
@@ -1150,6 +1470,35 @@ fn main() {
             .int("panicked", u64::from(f.panicked));
         root.raw("federation", &o.finish());
     }
+    if let Some(h) = &http_soak {
+        let total =
+            (h.served + h.timed_out + h.circuit_open + h.exhausted + h.exhausted_permanent).max(1);
+        let mut inj = JsonObject::new();
+        for (class, n) in sparql_rewrite_core::FaultClass::ALL.iter().zip(h.injected) {
+            inj.int(class.name(), n);
+        }
+        let mut o = JsonObject::new();
+        o.str("name", &h.name)
+            .int("n_endpoints", h.n_endpoints as u64)
+            .int("n_requests_per_run", h.n_requests as u64)
+            .int("served", h.served)
+            .int("timed_out", h.timed_out)
+            .int("circuit_open", h.circuit_open)
+            .int("exhausted_retries", h.exhausted)
+            .int("exhausted_permanent", h.exhausted_permanent)
+            .num("served_pct", 100.0 * h.served as f64 / total as f64)
+            .num("dispatches_per_sec", h.dispatches_per_sec)
+            .raw("injected_faults", &inj.finish())
+            .int("partition_cache_hits", h.cache_hits)
+            .int("partition_cache_misses", h.cache_misses)
+            .int("connections_reused", h.connections_reused)
+            .int("deterministic", u64::from(h.deterministic))
+            .int("breaker_converged", u64::from(h.breaker_converged))
+            .int("deadline_respected", u64::from(h.deadline_respected))
+            .int("all_faults_injected", u64::from(h.all_faults_injected))
+            .int("panicked", u64::from(h.panicked));
+        root.raw("federation_http", &o.finish());
+    }
     root.raw("summary", &summary.finish());
     let doc = root.finish();
 
@@ -1301,6 +1650,53 @@ fn main() {
         if f.timed_out + f.circuit_open + f.exhausted == 0 {
             failures.push(
                 "federation soak saw no degraded outcomes — fault injection is not firing"
+                    .to_string(),
+            );
+        }
+    }
+    // HTTP chaos soak gates: the same robustness contract as the mock soak,
+    // but proven against real sockets — plus the transport-specific
+    // properties (every injected protocol fault class observed, partition
+    // cache serving repeat plans, no panic crossing the pool boundary).
+    if let Some(h) = &http_soak {
+        if h.panicked {
+            failures.push("http chaos soak panicked (or a panic crossed the pool boundary)".into());
+        }
+        if !h.deterministic {
+            failures.push(
+                "http soak outcome transcripts or fault schedules diverged across \
+                 identical-seed runs"
+                    .to_string(),
+            );
+        }
+        if !h.breaker_converged {
+            failures.push(
+                "http soak breaker states did not converge across identical-seed runs".to_string(),
+            );
+        }
+        if !h.deadline_respected {
+            failures.push(
+                "an http dispatch exceeded the deadline by more than one backoff quantum"
+                    .to_string(),
+            );
+        }
+        if h.served == 0 {
+            failures.push("http soak served nothing — the socket transport is broken".to_string());
+        }
+        if h.timed_out + h.circuit_open + h.exhausted + h.exhausted_permanent == 0 {
+            failures.push(
+                "http soak saw no degraded outcomes — chaos injection is not firing".to_string(),
+            );
+        }
+        if !h.all_faults_injected {
+            failures.push(
+                "an enabled chaos fault class was never injected — coverage silently shrank"
+                    .to_string(),
+            );
+        }
+        if h.cache_hits == 0 {
+            failures.push(
+                "partition cache saw no hits on a Zipfian stream — per-endpoint caching is dead"
                     .to_string(),
             );
         }

@@ -10,8 +10,19 @@
 //! consecutive successes close it again (window reset), any failure
 //! re-opens it and restarts the cooldown.
 //!
+//! Half-open probes are **coalesced**: at most one admitted probe is in
+//! flight at a time. While a probe is outstanding, further [`allow`] calls
+//! return `false` (callers short-circuit to `CircuitOpen`) instead of
+//! racing a thundering herd at a barely-recovered endpoint. A granted
+//! probe must be resolved by [`record`] — or explicitly released with
+//! [`abandon_probe`] if the caller gives up before dispatching.
+//!
 //! All time is the caller's virtual clock — the breaker never reads wall
 //! time, which keeps federated executions deterministic.
+//!
+//! [`allow`]: CircuitBreaker::allow
+//! [`record`]: CircuitBreaker::record
+//! [`abandon_probe`]: CircuitBreaker::abandon_probe
 
 /// Breaker tuning knobs. Defaults: 16-sample window, trip at ≥ 50% failures
 /// over ≥ 8 samples, 100ms cooldown, 1 probe success to close.
@@ -62,6 +73,8 @@ pub struct CircuitBreaker {
     failures: u32,
     opened_at: u64,
     half_open_ok: u32,
+    /// True while a half-open probe has been admitted but not yet recorded.
+    probe_in_flight: bool,
 }
 
 impl CircuitBreaker {
@@ -80,6 +93,7 @@ impl CircuitBreaker {
             failures: 0,
             opened_at: 0,
             half_open_ok: 0,
+            probe_in_flight: false,
         }
     }
 
@@ -92,20 +106,39 @@ impl CircuitBreaker {
     }
 
     /// May a call proceed at virtual time `now`? Transitions open →
-    /// half-open once the cooldown has elapsed.
+    /// half-open once the cooldown has elapsed. In half-open, admits at
+    /// most one probe at a time: a `true` return claims the probe slot
+    /// until the next [`CircuitBreaker::record`] (or
+    /// [`CircuitBreaker::abandon_probe`]); concurrent callers get `false`.
     pub fn allow(&mut self, now: u64) -> bool {
         match self.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
             BreakerState::Open => {
                 if now.saturating_sub(self.opened_at) >= self.config.cooldown_nanos {
                     self.state = BreakerState::HalfOpen;
                     self.half_open_ok = 0;
+                    self.probe_in_flight = true;
                     true
                 } else {
                     false
                 }
             }
         }
+    }
+
+    /// Release a probe slot claimed by [`CircuitBreaker::allow`] without
+    /// recording a result — for callers that were admitted but bailed out
+    /// (e.g. zero remaining deadline budget) before dispatching.
+    pub fn abandon_probe(&mut self) {
+        self.probe_in_flight = false;
     }
 
     /// Record a call result observed at virtual time `now`.
@@ -121,6 +154,7 @@ impl CircuitBreaker {
                 }
             }
             BreakerState::HalfOpen => {
+                self.probe_in_flight = false;
                 if ok {
                     self.half_open_ok += 1;
                     if self.half_open_ok >= self.config.half_open_successes {
@@ -144,6 +178,7 @@ impl CircuitBreaker {
         self.state = BreakerState::Open;
         self.opened_at = now;
         self.half_open_ok = 0;
+        self.probe_in_flight = false;
     }
 
     fn push_sample(&mut self, ok: bool) {
@@ -224,6 +259,61 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Closed);
         b.record(2_012, false);
         assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_at_a_time() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..4 {
+            b.record(t, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // The cooldown-elapsing caller claims the probe slot...
+        assert!(b.allow(1_004));
+        // ...and every further caller is short-circuited until the probe
+        // resolves, even though the breaker is half-open.
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(1_004));
+        assert!(!b.allow(1_900));
+        // Resolving the probe frees the slot for the next single probe.
+        b.record(1_950, true);
+        assert!(b.allow(1_951));
+        assert!(!b.allow(1_951));
+        // An abandoned probe (admitted, never dispatched) must not wedge
+        // the endpoint in permanent fast-fail.
+        b.abandon_probe();
+        assert!(b.allow(1_952));
+    }
+
+    #[test]
+    fn concurrent_half_open_callers_race_for_one_probe() {
+        use std::sync::Mutex;
+        let b = Mutex::new(CircuitBreaker::new(cfg()));
+        {
+            let mut b = b.lock().unwrap();
+            for t in 0..4 {
+                b.record(t, false);
+            }
+            assert_eq!(b.state(), BreakerState::Open);
+        }
+        // Two threads arrive together after the cooldown on the same
+        // virtual instant: exactly one may probe.
+        let grants: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| s.spawn(|| b.lock().unwrap().allow(2_000)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            grants.iter().filter(|&&g| g).count(),
+            1,
+            "exactly one of two concurrent callers may probe, got {grants:?}"
+        );
+        // The winning probe's success closes the breaker for everyone.
+        let mut b = b.into_inner().unwrap();
+        b.record(2_001, true);
+        b.record(2_002, true);
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 
     #[test]

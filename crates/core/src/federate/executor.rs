@@ -14,14 +14,15 @@
 //! virtual clock makes the deadline contract exact: an execution's
 //! recorded elapsed time never exceeds [`ExecutorConfig::deadline_nanos`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::thread;
 
 use super::{
     mix_chain, BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker, EndpointOutcome,
     EndpointPlan, EndpointReport, EndpointTransport, FederatedResult, TransportError,
-    TransportRequest,
+    TransportReply, TransportRequest,
 };
 
 /// Executor tuning knobs.
@@ -75,6 +76,9 @@ pub struct FederatedExecutor<T> {
     transport: T,
     config: ExecutorConfig,
     runtimes: Vec<Mutex<EndpointRuntime>>,
+    /// Transport panics contained at the pool boundary (see
+    /// [`FederatedExecutor::caught_panics`]).
+    panics: AtomicU64,
 }
 
 impl<T: EndpointTransport> FederatedExecutor<T> {
@@ -94,6 +98,7 @@ impl<T: EndpointTransport> FederatedExecutor<T> {
             transport,
             config,
             runtimes,
+            panics: AtomicU64::new(0),
         }
     }
 
@@ -105,12 +110,29 @@ impl<T: EndpointTransport> FederatedExecutor<T> {
         &self.config
     }
 
+    /// Transport panics caught at the pool boundary and degraded to
+    /// structured outcomes instead of poisoning the endpoint's runtime
+    /// lock. A real transport should never panic, so the chaos soak gates
+    /// this at zero.
+    pub fn caught_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// An endpoint's runtime lock, recovering from poisoning: the state a
+    /// worker could have left mid-flight (clock, breaker window) is always
+    /// internally consistent, so a panic elsewhere in a lock holder must
+    /// not condemn every later request to this endpoint.
+    fn lock_runtime(&self, e: usize) -> MutexGuard<'_, EndpointRuntime> {
+        self.runtimes[e]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current breaker state per endpoint — the soak gate's convergence
     /// signal.
     pub fn breaker_states(&self) -> Vec<BreakerState> {
-        self.runtimes
-            .iter()
-            .map(|rt| rt.lock().unwrap().breaker.state())
+        (0..self.runtimes.len())
+            .map(|e| self.lock_runtime(e).breaker.state())
             .collect()
     }
 
@@ -161,7 +183,7 @@ impl<T: EndpointTransport> FederatedExecutor<T> {
     /// fault stream deterministic.
     fn run_endpoint(&self, plan: &EndpointPlan) -> EndpointReport {
         let e = plan.endpoint.0 as usize;
-        let mut rt = self.runtimes[e].lock().unwrap();
+        let mut rt = self.lock_runtime(e);
         rt.clock = rt.clock.saturating_add(self.config.inter_request_nanos);
         let call = rt.calls;
         rt.calls += 1;
@@ -175,17 +197,34 @@ impl<T: EndpointTransport> FederatedExecutor<T> {
             loop {
                 let budget = deadline.saturating_sub(rt.clock);
                 if budget == 0 {
+                    // Never dispatched: if `allow` above claimed a
+                    // half-open probe slot, release it or the endpoint
+                    // wedges in fast-fail forever.
+                    rt.breaker.abandon_probe();
                     break EndpointOutcome::TimedOut {
                         attempts,
                         elapsed_nanos: rt.clock - start,
                     };
                 }
                 attempts += 1;
-                let reply = self.transport.execute(&TransportRequest {
-                    endpoint: plan.endpoint,
-                    query: &plan.subquery,
-                    attempt: attempts,
-                    budget_nanos: budget,
+                // The pool boundary: a panicking transport must not poison
+                // this endpoint's runtime lock and condemn every later
+                // request. Contain it and degrade to a transient failure,
+                // which the normal retry/breaker ladder absorbs.
+                let reply = catch_unwind(AssertUnwindSafe(|| {
+                    self.transport.execute(&TransportRequest {
+                        endpoint: plan.endpoint,
+                        query: &plan.subquery,
+                        attempt: attempts,
+                        budget_nanos: budget,
+                    })
+                }))
+                .unwrap_or_else(|_| {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    TransportReply {
+                        latency_nanos: 0,
+                        payload: Err(TransportError::Transient),
+                    }
                 });
                 if reply.latency_nanos >= budget {
                     // The attempt stalled past the deadline: the caller
@@ -210,7 +249,7 @@ impl<T: EndpointTransport> FederatedExecutor<T> {
                     }
                     Err(err) => {
                         rt.breaker.record(now, false);
-                        let permanent = err == TransportError::Permanent;
+                        let permanent = err.is_permanent();
                         if permanent || attempts > self.config.backoff.max_retries {
                             break EndpointOutcome::ExhaustedRetries {
                                 attempts,
@@ -449,6 +488,57 @@ mod tests {
         assert!(saw.0, "breaker never fast-failed");
         assert!(saw.1, "breaker never closed again after opening");
         assert!(saw.2, "no request served after recovery");
+    }
+
+    #[test]
+    fn panicking_transport_degrades_without_poisoning_the_endpoint() {
+        use std::sync::atomic::AtomicU64;
+
+        /// Panics on the first `panic_for` calls, healthy afterwards.
+        struct PanickingTransport {
+            panic_for: u64,
+            calls: AtomicU64,
+        }
+        impl EndpointTransport for PanickingTransport {
+            fn execute(&self, req: &TransportRequest<'_>) -> TransportReply {
+                if self.calls.fetch_add(1, Ordering::Relaxed) < self.panic_for {
+                    panic!("transport bug");
+                }
+                TransportReply {
+                    latency_nanos: 1_000_000,
+                    payload: Ok(format!("rows for {}", req.query.len())),
+                }
+            }
+        }
+
+        let cfg = ExecutorConfig::default();
+        // Enough panics to exhaust the first execution's retries entirely.
+        let ex = FederatedExecutor::new(
+            PanickingTransport {
+                panic_for: (cfg.backoff.max_retries + 1) as u64,
+                calls: AtomicU64::new(0),
+            },
+            1,
+            cfg,
+        );
+        let result = ex.execute(&[plan_for(0)]);
+        assert_eq!(
+            result.reports[0].outcome,
+            EndpointOutcome::ExhaustedRetries {
+                attempts: cfg.backoff.max_retries + 1,
+                permanent: false,
+            },
+            "panics must degrade to a structured transient outcome"
+        );
+        assert_eq!(ex.caught_panics(), (cfg.backoff.max_retries + 1) as u64);
+        // The endpoint's mutex survived: the next execution over the
+        // now-healthy transport serves normally.
+        let result = ex.execute(&[plan_for(0)]);
+        assert!(
+            result.reports[0].outcome.is_served(),
+            "endpoint unusable after contained panics: {:?}",
+            result.reports[0].outcome
+        );
     }
 
     #[test]

@@ -43,19 +43,28 @@
 
 mod backoff;
 mod breaker;
+pub mod chaos;
 mod executor;
+mod http;
 mod transport;
 
 pub use backoff::BackoffPolicy;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{ChaosProxy, ChaosSpec, FaultClass};
 pub use executor::{ExecutorConfig, FederatedExecutor};
+pub use http::{
+    read_response, HttpConfig, HttpEndpoint, HttpError, HttpLimits, HttpResponse, HttpTransport,
+};
 pub use transport::{
-    EndpointTransport, FaultSpec, MockTransport, TransportError, TransportReply, TransportRequest,
+    classify_http_status, classify_io_error, EndpointTransport, FaultSpec, MockTransport,
+    TransportError, TransportReply, TransportRequest,
 };
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::align::AlignmentStore;
+use crate::cache::{CacheConfig, QueryFingerprint, RewriteCache};
 use crate::interner::Resolve;
 use crate::pattern::{
     render_query_into, Bgp, ChainBuilder, ExprNode, GroupPattern, PatternNode, Query, QueryRef,
@@ -198,18 +207,73 @@ pub struct FederationPlan {
     pub n_residual_patterns: usize,
 }
 
+/// Output of [`FederationPlanner::plan_for_dispatch`]: just what the
+/// executor consumes, with no SERVICE-annotated combined query — the
+/// variant the partition cache can serve without rewriting at all.
+#[derive(Clone, Debug)]
+pub struct DispatchPlan {
+    /// Per-endpoint subqueries in dispatch order.
+    pub endpoints: Vec<EndpointPlan>,
+    /// Number of triple patterns no endpoint could rewrite (kept local).
+    pub n_residual_patterns: usize,
+}
+
 struct PlannerEndpoint {
     term: Term,
     store: Arc<AlignmentStore>,
+    /// Bumped on every store replacement; folded into the cache
+    /// generation so a swapped-in store can never serve another store's
+    /// cached rewrites, even on a revision-counter collision.
+    epoch: u64,
+}
+
+/// Per-endpoint partition rewrite cache: (endpoint id, partition
+/// fingerprint) → rendered subquery text, generation-tagged like the PR 5
+/// serve cache.
+struct PartitionCache {
+    cache: RewriteCache,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss counters of the planner's partition cache.
+#[derive(Copy, Clone, PartialEq, Eq, Default, Debug)]
+pub struct PartitionCacheStats {
+    pub hits: u64,
+    pub misses: u64,
 }
 
 /// Partitions queries across per-endpoint rule sets and renders
 /// SERVICE-annotated subqueries. Build-phase: register endpoints with
 /// [`FederationPlanner::add_endpoint`], then call
 /// [`FederationPlanner::plan`] freely from the serve phase (`&self`).
+///
+/// With [`FederationPlanner::enable_partition_cache`], rendered partition
+/// rewrites are memoized per `(endpoint id, partition fingerprint)` under
+/// the endpoint store's [`AlignmentStore::revision`] generation tag:
+/// repeated hot partitions — the normal shape of a Zipfian query stream —
+/// are planned by [`FederationPlanner::plan_for_dispatch`] without
+/// re-rewriting or re-rendering anything.
 #[derive(Default)]
 pub struct FederationPlanner {
     endpoints: Vec<PlannerEndpoint>,
+    cache: Option<PartitionCache>,
+}
+
+/// Reusable buffers threaded through per-partition rewriting.
+#[derive(Default)]
+struct PlanScratch {
+    rewrite: RewriteScratch,
+    fresh_base: String,
+}
+
+/// A query's triples partitioned across endpoints, plus dispatch order.
+struct Partitioned {
+    parts: Vec<Vec<TriplePattern>>,
+    scores: Vec<u64>,
+    residual: Vec<ResidualItem>,
+    /// Endpoints with non-empty partitions, most selective first.
+    order: Vec<usize>,
 }
 
 /// What a residual (locally kept) item is: a triple no endpoint matched, or
@@ -232,12 +296,65 @@ impl FederationPlanner {
         self.endpoints.push(PlannerEndpoint {
             term: endpoint,
             store,
+            epoch: 0,
         });
         id
     }
 
+    /// Swap one endpoint's rule set in place (e.g. after an alignment
+    /// refresh), keeping its id and dispatch identity. The endpoint's
+    /// cache epoch is bumped, so partition rewrites cached against the
+    /// old store are unreachable even when the stores' revision counters
+    /// collide.
+    pub fn replace_endpoint_store(&mut self, id: EndpointId, store: Arc<AlignmentStore>) {
+        let ep = &mut self.endpoints[id.0 as usize];
+        ep.store = store;
+        ep.epoch += 1;
+    }
+
+    /// Memoize rendered partition rewrites (see the type docs). Call once
+    /// during the build phase; planning stays `&self`.
+    pub fn enable_partition_cache(&mut self, config: CacheConfig) {
+        self.cache = Some(PartitionCache {
+            cache: RewriteCache::new(config),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        });
+    }
+
+    /// Partition-cache hit/miss counters; zeros when the cache is off.
+    pub fn partition_cache_stats(&self) -> PartitionCacheStats {
+        match &self.cache {
+            Some(pc) => PartitionCacheStats {
+                hits: pc.hits.load(Ordering::Relaxed),
+                misses: pc.misses.load(Ordering::Relaxed),
+            },
+            None => PartitionCacheStats::default(),
+        }
+    }
+
     pub fn n_endpoints(&self) -> usize {
         self.endpoints.len()
+    }
+
+    /// Cache key of endpoint `e`'s partition: the endpoint id and every
+    /// triple's interned term bits, chain-mixed. Interner symbols are
+    /// process-stable, which is exactly the lifetime of the cache.
+    fn partition_fingerprint(&self, e: usize, part: &[TriplePattern]) -> QueryFingerprint {
+        let mut h = mix_chain(0x7a57_11f0_5eed_cafe, &[e as u64, part.len() as u64]);
+        for tp in part {
+            for t in tp.terms() {
+                h = mix64(h ^ t.raw() as u64);
+            }
+        }
+        QueryFingerprint::from_parts(h, part.len() as u32)
+    }
+
+    /// Cache generation of endpoint `e`: store revision in the low bits,
+    /// replacement epoch in the high bits.
+    fn endpoint_generation(&self, e: usize) -> u64 {
+        let ep = &self.endpoints[e];
+        (ep.epoch << 48) ^ ep.store.revision()
     }
 
     /// Which endpoint should answer `tp`, and at what selectivity cost?
@@ -267,19 +384,9 @@ impl FederationPlanner {
         best.map(|(_, score, i)| (i, score))
     }
 
-    /// Partition `query`, rewrite each partition against its endpoint's
-    /// rules (bounded by `limits`), and render the dispatch plan.
-    ///
-    /// Plans are fully deterministic in the query + registered endpoints.
-    /// Fails only when a partition's rewrite crosses a [`RewriteLimits`]
-    /// cap.
-    pub fn plan<R: Resolve>(
-        &self,
-        query: QueryRef<'_>,
-        resolver: &R,
-        limits: RewriteLimits,
-    ) -> Result<FederationPlan, RewriteError> {
-        let src = query.pattern;
+    /// Partition the root conjunction of `src` across endpoints and fix
+    /// the dispatch order — the shared front half of both planning paths.
+    fn partition(&self, src: &GroupPattern) -> Partitioned {
         let n = self.endpoints.len();
         let mut parts: Vec<Vec<TriplePattern>> = vec![Vec::new(); n];
         let mut scores: Vec<u64> = vec![0; n];
@@ -304,29 +411,146 @@ impl FederationPlanner {
         // selective partition (smallest summed candidate count) first.
         let mut order: Vec<usize> = (0..n).filter(|&e| !parts[e].is_empty()).collect();
         order.sort_by_key(|&e| (scores[e], e));
+        Partitioned {
+            parts,
+            scores,
+            residual,
+            order,
+        }
+    }
+
+    /// Rewrite endpoint `e`'s partition into `scratch` and render it into
+    /// `subquery`.
+    fn rewrite_partition<R: Resolve>(
+        &self,
+        e: usize,
+        part: &[TriplePattern],
+        resolver: &R,
+        limits: RewriteLimits,
+        scratch: &mut PlanScratch,
+        subquery: &mut String,
+    ) -> Result<(), RewriteError> {
+        let bgp = Bgp::new(part.to_vec());
+        let rewriter = IndexedRewriter::new(Arc::clone(&self.endpoints[e].store));
+        rewriter.try_rewrite_bgp_into(&bgp, &mut scratch.rewrite, limits)?;
+        subquery.clear();
+        render_query_into(
+            QueryRef {
+                select: None,
+                pattern: scratch.rewrite.pattern(),
+            },
+            resolver,
+            &mut scratch.fresh_base,
+            subquery,
+        );
+        Ok(())
+    }
+
+    /// Plan for execution only: like [`FederationPlanner::plan`] but
+    /// without building the SERVICE-annotated combined query — which is
+    /// what lets a partition-cache hit skip the rewrite *entirely* and
+    /// serve the subquery text by fingerprint + memcpy. Both paths share
+    /// one cache, so full `plan` calls warm it for dispatch traffic.
+    pub fn plan_for_dispatch<R: Resolve>(
+        &self,
+        query: QueryRef<'_>,
+        resolver: &R,
+        limits: RewriteLimits,
+    ) -> Result<DispatchPlan, RewriteError> {
+        let p = self.partition(query.pattern);
+        let n_residual_patterns = p
+            .residual
+            .iter()
+            .filter(|i| matches!(i, ResidualItem::Triple(_)))
+            .count();
+        let mut endpoint_plans = Vec::with_capacity(p.order.len());
+        let mut scratch = PlanScratch::default();
+        let mut cached = Vec::new();
+        for &e in &p.order {
+            let mut subquery = String::new();
+            let key = self.cache.as_ref().map(|_| {
+                (
+                    self.partition_fingerprint(e, &p.parts[e]),
+                    self.endpoint_generation(e),
+                )
+            });
+            let mut hit = false;
+            if let (Some(pc), Some((fp, gen))) = (&self.cache, key) {
+                cached.clear();
+                if pc.cache.lookup(fp, gen, &mut cached) {
+                    if let Ok(text) = std::str::from_utf8(&cached) {
+                        subquery.push_str(text);
+                        hit = true;
+                    }
+                }
+                let counter = if hit { &pc.hits } else { &pc.misses };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            if !hit {
+                self.rewrite_partition(
+                    e,
+                    &p.parts[e],
+                    resolver,
+                    limits,
+                    &mut scratch,
+                    &mut subquery,
+                )?;
+                if let (Some(pc), Some((fp, gen))) = (&self.cache, key) {
+                    pc.cache.insert(fp, gen, subquery.as_bytes());
+                }
+            }
+            endpoint_plans.push(EndpointPlan {
+                endpoint: EndpointId(e as u32),
+                endpoint_term: self.endpoints[e].term,
+                subquery,
+                selectivity: p.scores[e],
+                n_patterns: p.parts[e].len(),
+            });
+        }
+        Ok(DispatchPlan {
+            endpoints: endpoint_plans,
+            n_residual_patterns,
+        })
+    }
+
+    /// Partition `query`, rewrite each partition against its endpoint's
+    /// rules (bounded by `limits`), and render the dispatch plan.
+    ///
+    /// Plans are fully deterministic in the query + registered endpoints.
+    /// Fails only when a partition's rewrite crosses a [`RewriteLimits`]
+    /// cap.
+    pub fn plan<R: Resolve>(
+        &self,
+        query: QueryRef<'_>,
+        resolver: &R,
+        limits: RewriteLimits,
+    ) -> Result<FederationPlan, RewriteError> {
+        let src = query.pattern;
+        let Partitioned {
+            parts,
+            scores,
+            residual,
+            order,
+        } = self.partition(src);
 
         let mut annotated = GroupPattern::new();
         let mut chain = ChainBuilder::new();
         let mut endpoint_plans = Vec::with_capacity(order.len());
-        let mut scratch = RewriteScratch::new();
-        let mut fresh_base = String::new();
+        let mut scratch = PlanScratch::default();
         for &e in &order {
-            let bgp = Bgp::new(parts[e].clone());
-            let rewriter = IndexedRewriter::new(Arc::clone(&self.endpoints[e].store));
-            rewriter.try_rewrite_bgp_into(&bgp, &mut scratch, limits)?;
             let mut subquery = String::new();
-            render_query_into(
-                QueryRef {
-                    select: None,
-                    pattern: scratch.pattern(),
-                },
-                resolver,
-                &mut fresh_base,
-                &mut subquery,
-            );
+            self.rewrite_partition(e, &parts[e], resolver, limits, &mut scratch, &mut subquery)?;
+            // The annotated tree needs the rewritten pattern either way,
+            // so the cache is only written here — warming dispatch-path
+            // lookups — never consulted.
+            if let Some(pc) = &self.cache {
+                let fp = self.partition_fingerprint(e, &parts[e]);
+                pc.cache
+                    .insert(fp, self.endpoint_generation(e), subquery.as_bytes());
+            }
             let mut svc_chain = ChainBuilder::new();
-            for c in scratch.pattern().root_children() {
-                let node = copy_node(scratch.pattern(), c, &mut annotated);
+            for c in scratch.rewrite.pattern().root_children() {
+                let node = copy_node(scratch.rewrite.pattern(), c, &mut annotated);
                 svc_chain.push(&mut annotated, node);
             }
             let svc = annotated.push_node(PatternNode::Service {
@@ -555,6 +779,115 @@ mod tests {
             .plan(query.as_ref(), &it, RewriteLimits::with_union_branch_cap(1))
             .unwrap_err();
         assert!(matches!(err, RewriteError::UnionBranchesExceeded { .. }));
+    }
+
+    #[test]
+    fn partition_fingerprints_key_on_the_endpoint_id() {
+        let mut it = Interner::new();
+        let planner = two_endpoint_planner(&mut it);
+        let tps = parse_bgp("?s <http://a/p0> ?o . ?s <http://a/p1> ?x", &mut it)
+            .unwrap()
+            .patterns;
+        // The same triples must hash to different cache keys per endpoint:
+        // each endpoint rewrites them into a different vocabulary.
+        assert_ne!(
+            planner.partition_fingerprint(0, &tps),
+            planner.partition_fingerprint(1, &tps)
+        );
+        // And the fingerprint is order- and content-sensitive.
+        let rev: Vec<_> = tps.iter().rev().copied().collect();
+        assert_ne!(
+            planner.partition_fingerprint(0, &tps),
+            planner.partition_fingerprint(0, &rev)
+        );
+    }
+
+    #[test]
+    fn dispatch_plan_serves_hot_partitions_from_the_cache() {
+        let mut it = Interner::new();
+        let mut planner = two_endpoint_planner(&mut it);
+        planner.enable_partition_cache(crate::cache::CacheConfig::default());
+        let query = parse_query(
+            "SELECT * WHERE { ?s <http://a/p0> ?x . ?s <http://b/p1> ?y }",
+            &mut it,
+        )
+        .unwrap();
+
+        let cold = planner
+            .plan_for_dispatch(query.as_ref(), &it, RewriteLimits::unbounded())
+            .unwrap();
+        let stats = planner.partition_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2), "cold run misses");
+
+        let hot = planner
+            .plan_for_dispatch(query.as_ref(), &it, RewriteLimits::unbounded())
+            .unwrap();
+        let stats = planner.partition_cache_stats();
+        assert_eq!(stats.hits, 2, "hot partitions must not re-rewrite");
+        let texts = |p: &DispatchPlan| -> Vec<String> {
+            p.endpoints.iter().map(|e| e.subquery.clone()).collect()
+        };
+        assert_eq!(texts(&cold), texts(&hot));
+
+        // The full planning path produces the same subqueries and warms
+        // the same cache (inserts only — it always needs the rewrite for
+        // the annotated tree).
+        let full = planner
+            .plan(query.as_ref(), &it, RewriteLimits::unbounded())
+            .unwrap();
+        let full_texts: Vec<String> = full.endpoints.iter().map(|e| e.subquery.clone()).collect();
+        assert_eq!(full_texts, texts(&hot));
+        assert_eq!(
+            planner.partition_cache_stats().hits,
+            2,
+            "plan() never consults the cache"
+        );
+    }
+
+    #[test]
+    fn store_replacement_invalidates_cached_partitions() {
+        let mut it = Interner::new();
+        let mut planner = two_endpoint_planner(&mut it);
+        planner.enable_partition_cache(crate::cache::CacheConfig::default());
+        let query = parse_query("SELECT * WHERE { ?s <http://a/p1> ?y }", &mut it).unwrap();
+
+        let before = planner
+            .plan_for_dispatch(query.as_ref(), &it, RewriteLimits::unbounded())
+            .unwrap();
+        assert!(before.endpoints[0].subquery.contains("<http://a-tgt/p1>"));
+        assert_eq!(planner.partition_cache_stats().misses, 1);
+
+        // Rebuild ep0's rules with the *same number of additions* (so the
+        // fresh store's revision counter collides with the old one) but a
+        // different target vocabulary. The epoch bump must still reach the
+        // new rewrite.
+        let mut store = AlignmentStore::new();
+        for i in 0..4 {
+            let lhs = parse_bgp(&format!("?s <http://a/p{i}> ?o"), &mut it)
+                .unwrap()
+                .patterns[0];
+            let rhs = parse_bgp(&format!("?s <http://a-v2/p{i}> ?o"), &mut it)
+                .unwrap()
+                .patterns;
+            store.add_predicate(lhs, rhs).unwrap();
+        }
+        store.build_dense_index(it.symbol_bound());
+        planner.replace_endpoint_store(EndpointId(0), Arc::new(store));
+
+        let after = planner
+            .plan_for_dispatch(query.as_ref(), &it, RewriteLimits::unbounded())
+            .unwrap();
+        assert!(
+            after.endpoints[0].subquery.contains("<http://a-v2/p1>"),
+            "stale cached rewrite served after store replacement: {}",
+            after.endpoints[0].subquery
+        );
+        let stats = planner.partition_cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 2),
+            "replacement must miss, not hit"
+        );
     }
 
     #[test]

@@ -85,10 +85,12 @@ pub mod term;
 pub use align::{AlignError, AlignmentStore, Rule};
 pub use cache::{fingerprint_query, fingerprint_raw, CacheConfig, QueryFingerprint, RewriteCache};
 pub use federate::{
-    BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker, EndpointId, EndpointOutcome,
-    EndpointPlan, EndpointReport, EndpointTransport, ExecutorConfig, FaultSpec, FederatedExecutor,
-    FederatedResult, FederationPlan, FederationPlanner, MockTransport, TransportError,
-    TransportReply, TransportRequest,
+    classify_http_status, classify_io_error, read_response, BackoffPolicy, BreakerConfig,
+    BreakerState, ChaosProxy, ChaosSpec, CircuitBreaker, DispatchPlan, EndpointId, EndpointOutcome,
+    EndpointPlan, EndpointReport, EndpointTransport, ExecutorConfig, FaultClass, FaultSpec,
+    FederatedExecutor, FederatedResult, FederationPlan, FederationPlanner, HttpConfig,
+    HttpEndpoint, HttpError, HttpLimits, HttpResponse, HttpTransport, MockTransport,
+    PartitionCacheStats, TransportError, TransportReply, TransportRequest,
 };
 pub use interner::{FrozenInterner, Interner, Resolve};
 pub use parser::{parse_bgp, parse_query, parse_query_into, ParseError, ParseScratch};
