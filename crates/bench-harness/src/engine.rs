@@ -291,6 +291,7 @@ mod tests {
             n_queries: 40,
             seed: 0xcafe_f00d,
             group_shapes,
+            complex: crate::workload::ComplexShape::None,
         };
         let mut w = generate(&spec);
         let requests = w.query_texts();
@@ -338,6 +339,7 @@ mod tests {
                 n_queries: 24,
                 seed: 0x5eed_cafe ^ group_shapes as u64,
                 group_shapes,
+                complex: crate::workload::ComplexShape::None,
             };
             let (cached, cold, requests) = cached_and_cold(&spec, None);
             let mut cached_scratch = cached.scratch();
@@ -389,6 +391,7 @@ mod tests {
             n_queries: 96,
             seed: 0xfeed_beef,
             group_shapes: false,
+            complex: crate::workload::ComplexShape::None,
         };
         // 1 shard × 16 slots vs 96 distinct queries: constant eviction.
         let (cached, cold, requests) = cached_and_cold(
@@ -433,6 +436,7 @@ mod tests {
             n_queries: 32,
             seed: 0xabcd_ef01,
             group_shapes: false,
+            complex: crate::workload::ComplexShape::None,
         };
         let (cached, _cold, distinct) = cached_and_cold(&spec, None);
         let ranks = crate::workload::zipf_ranks(&ZipfSpec {
@@ -505,6 +509,7 @@ mod tests {
             n_queries: 4,
             seed: 0xbead_cafe,
             group_shapes: false,
+            complex: crate::workload::ComplexShape::None,
         };
         // 64-byte cap: every rendered rewrite in this workload exceeds it.
         let (cached, _cold, requests) = cached_and_cold(

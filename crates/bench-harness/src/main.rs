@@ -72,8 +72,8 @@ use sparql_rewrite_core::{
     RewriteScratch, Rewriter,
 };
 use workload::{
-    alias_prefix, generate, generate_federation, perturb_whitespace, FederationSpec, Rng,
-    WorkloadSpec, ZipfSpec,
+    alias_prefix, generate, generate_federation, perturb_whitespace, ComplexShape, FederationSpec,
+    Rng, WorkloadSpec, ZipfSpec,
 };
 
 // Counting allocator (shared with the core crate's alloc_free test) so the
@@ -110,24 +110,32 @@ struct ConfigResult {
     n_queries: usize,
 }
 
-fn run_config(
-    bencher: &Bencher,
-    name: String,
+/// The shared spec shape for the `rewrite/*` configs. A batch of
+/// queries per iteration so one iteration is meaty even for the
+/// indexed path on tiny queries.
+fn rewrite_spec(
     n_rules: usize,
     patterns_per_query: usize,
-    strategy_linear: bool,
     group_shapes: bool,
-    dense: bool,
-) -> ConfigResult {
-    let spec = WorkloadSpec {
+    complex: ComplexShape,
+) -> WorkloadSpec {
+    WorkloadSpec {
         n_rules,
         patterns_per_query,
-        // A batch of queries per iteration so one iteration is meaty even
-        // for the indexed path on tiny queries.
         n_queries: 64,
         seed: 0x5eed_0000 + n_rules as u64,
         group_shapes,
-    };
+        complex,
+    }
+}
+
+fn run_config(
+    bencher: &Bencher,
+    name: String,
+    spec: WorkloadSpec,
+    strategy_linear: bool,
+    dense: bool,
+) -> ConfigResult {
     let mut w = generate(&spec);
     let mut store = std::mem::take(&mut w.store);
     // Freeze: lookups run on the dense direct-indexed dispatch tables
@@ -165,10 +173,23 @@ fn run_config(
     let ns_per_pattern = stats.median_ns / w.total_patterns as f64;
     ConfigResult {
         name,
-        n_rules,
-        patterns_per_query,
+        n_rules: spec.n_rules,
+        patterns_per_query: spec.patterns_per_query,
         strategy: if strategy_linear { "linear" } else { "indexed" },
-        shape: if group_shapes { "group" } else { "flat" },
+        // Complex shapes get their own label: the flat-only speedup
+        // geomean must not mix in workloads where rewrite cost is
+        // dominated by template instantiation rather than lookup.
+        shape: match spec.complex {
+            ComplexShape::Guarded => "guarded",
+            ComplexShape::Chain(_) => "chain",
+            ComplexShape::None => {
+                if spec.group_shapes {
+                    "group"
+                } else {
+                    "flat"
+                }
+            }
+        },
         ns_per_query,
         ns_per_pattern,
         patterns_per_sec: 1e9 / ns_per_pattern,
@@ -209,6 +230,7 @@ fn run_e2e_config(
         n_queries: 64,
         seed: 0xe2e_0000 + n_rules as u64,
         group_shapes,
+        complex: ComplexShape::None,
     };
     let mut w = generate(&spec);
     let requests = w.query_texts();
@@ -298,6 +320,7 @@ fn run_cached_config(
         n_queries: 64,
         seed: 0xcac4_0000 + n_rules as u64 + group_shapes as u64,
         group_shapes,
+        complex: ComplexShape::None,
     };
     let mut w = generate(&spec);
     let distinct = w.query_texts();
@@ -421,6 +444,7 @@ fn run_thread_scaling(quick: bool, thread_counts: &[usize]) -> ScalingReport {
         n_queries: 256,
         seed: 0x0007_4ead_5ca1_e000,
         group_shapes: false,
+        complex: ComplexShape::None,
     };
     let mut w = generate(&spec);
     let mut store = std::mem::take(&mut w.store);
@@ -491,6 +515,7 @@ fn run_e2e_thread_scaling(quick: bool, thread_counts: &[usize]) -> Vec<ThreadRes
         n_queries: 256,
         seed: 0x0e2e_4ead_5ca1_e000,
         group_shapes: false,
+        complex: ComplexShape::None,
     };
     let mut w = generate(&spec);
     let requests = w.query_texts();
@@ -1014,14 +1039,7 @@ fn main() {
         "patterns/sec",
         "allocs"
     );
-    let run_one = |results: &mut Vec<ConfigResult>, n_rules, ppq, linear, group| {
-        let shape = if group { "group" } else { "flat" };
-        let strat = if linear { "linear" } else { "indexed" };
-        let name = format!("rewrite/{shape}/{strat}/{}/{ppq}p", fmt_rules(n_rules));
-        if !selected(&name) {
-            return;
-        }
-        let r = run_config(&bencher, name, n_rules, ppq, linear, group, dense);
+    let print_row = |r: &ConfigResult| {
         eprintln!(
             "{:>8} {:>9} {:>9} {:>6} {:>14.0} {:>14.1} {:>16.0} {:>8.2}",
             r.n_rules,
@@ -1033,6 +1051,22 @@ fn main() {
             r.patterns_per_sec,
             r.allocs_per_rewrite
         );
+    };
+    let run_one = |results: &mut Vec<ConfigResult>, n_rules, ppq, linear, group| {
+        let shape = if group { "group" } else { "flat" };
+        let strat = if linear { "linear" } else { "indexed" };
+        let name = format!("rewrite/{shape}/{strat}/{}/{ppq}p", fmt_rules(n_rules));
+        if !selected(&name) {
+            return;
+        }
+        let r = run_config(
+            &bencher,
+            name,
+            rewrite_spec(n_rules, ppq, group, ComplexShape::None),
+            linear,
+            dense,
+        );
+        print_row(&r);
         results.push(r);
     };
     for &n_rules in rule_counts {
@@ -1053,6 +1087,45 @@ fn main() {
     for &n_rules in group_rule_counts {
         for linear in [false, true] {
             run_one(&mut results, n_rules, 8, linear, true);
+        }
+    }
+    // Complex-correspondence workloads: guarded templates (the full
+    // three-valued guard mix against flat-batch traffic) and existential
+    // chains of varying depth with transform FILTERs. They ride the shared
+    // alloc==0 and 250k median/p99 throughput gates; their shape labels
+    // keep them out of the flat-only indexed-vs-linear speedup geomean,
+    // and `--no-dense` A/Bs them on the hash-fallback path like every
+    // other rewrite config.
+    let complex_grid: &[(&str, ComplexShape, usize)] = if quick {
+        &[
+            ("guarded", ComplexShape::Guarded, 1_000),
+            ("chain/d3", ComplexShape::Chain(3), 1_000),
+        ]
+    } else {
+        &[
+            ("guarded", ComplexShape::Guarded, 1_000),
+            ("guarded", ComplexShape::Guarded, 10_000),
+            ("chain/d2", ComplexShape::Chain(2), 1_000),
+            ("chain/d4", ComplexShape::Chain(4), 1_000),
+            ("chain/d3", ComplexShape::Chain(3), 10_000),
+        ]
+    };
+    for &(label, complex, n_rules) in complex_grid {
+        for linear in [false, true] {
+            let strat = if linear { "linear" } else { "indexed" };
+            let name = format!("rewrite/complex/{label}/{strat}/{}/8p", fmt_rules(n_rules));
+            if !selected(&name) {
+                continue;
+            }
+            let r = run_config(
+                &bencher,
+                name,
+                rewrite_spec(n_rules, 8, false, complex),
+                linear,
+                dense,
+            );
+            print_row(&r);
+            results.push(r);
         }
     }
 

@@ -121,6 +121,7 @@ mod tests {
             // Group shapes: the batch engine must stay deterministic across
             // thread counts on the recursive path (UNION expansion included).
             group_shapes: true,
+            complex: crate::workload::ComplexShape::None,
         };
         let mut w = generate(&spec);
         let mut store = std::mem::take(&mut w.store);

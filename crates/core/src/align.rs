@@ -31,9 +31,88 @@
 //! rule list instead, as the benchmark baseline.
 
 use crate::fxhash::FxHashMap;
-use crate::pattern::TriplePattern;
+use crate::pattern::{ExprNode, TriplePattern};
 use crate::smallvec::SmallVec;
-use crate::term::{Symbol, Term, SYM_MASK, TAG_SHIFT};
+use crate::term::{Symbol, Term, TermKind, SYM_MASK, TAG_SHIFT};
+
+/// Vacant guard slot in a [`RuleTemplate`] (and in the dense per-rule guard
+/// pool): "this rule has no firing condition".
+pub const NO_EXPR: u32 = u32::MAX;
+
+/// The right-hand side of a complex correspondence ([`Rule::Complex`]): a
+/// guarded group-pattern template in the same flattened index-linked form
+/// [`crate::pattern::GroupPattern`] uses.
+///
+/// * `triples` — the body. May be a chain linked by existential variables:
+///   variables (or blank nodes) not bound by the rule's lhs get fresh names
+///   at application time, exactly like the flat [`Rule::Predicate`] rhs.
+/// * `exprs` — one self-contained expression pool shared by the guard and
+///   the emitted filters. Child indices are **template-relative** (0-based
+///   into `exprs`) and must be topologically ordered — every node's
+///   children sit strictly before it — so the pool survives CSR slicing in
+///   the dense index and copies into a query's expression buffer with a
+///   single base offset.
+/// * `guard` — root (into `exprs`) of the optional firing condition, or
+///   [`NO_EXPR`]. The rewriter evaluates the guard against the lhs bindings
+///   of each match: statically false → the rule does not fire for that
+///   pattern; statically true → it fires with no residue; undecidable
+///   (e.g. a comparison over a variable the query leaves open) → it fires
+///   and the instantiated guard is emitted as a `FILTER` for the endpoint
+///   to decide.
+/// * `filters` — roots (into `exprs`) of constraints always emitted
+///   alongside the body. Value transforms live here as FILTER-equality
+///   constraints relating an existential to a computed/constant term: the
+///   AST deliberately has no BIND node, so computed terms lower to the
+///   FILTER syntax that already round-trips through render → parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleTemplate {
+    pub triples: Vec<TriplePattern>,
+    pub exprs: Vec<ExprNode>,
+    pub guard: u32,
+    pub filters: Vec<u32>,
+}
+
+impl Default for RuleTemplate {
+    fn default() -> RuleTemplate {
+        RuleTemplate {
+            triples: Vec::new(),
+            exprs: Vec::new(),
+            guard: NO_EXPR,
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl RuleTemplate {
+    /// A template that is just a triple body — semantically identical to a
+    /// flat [`Rule::Predicate`] rhs, useful as a starting point to hang a
+    /// guard or filters on.
+    pub fn from_triples(triples: Vec<TriplePattern>) -> RuleTemplate {
+        RuleTemplate {
+            triples,
+            ..RuleTemplate::default()
+        }
+    }
+
+    /// Append an expression node to the template pool; returns its
+    /// (template-relative) index for use as a child, guard, or filter root.
+    pub fn push_expr(&mut self, node: ExprNode) -> u32 {
+        let idx = self.exprs.len() as u32;
+        self.exprs.push(node);
+        idx
+    }
+
+    /// Set the firing condition to the expression rooted at `root`.
+    pub fn set_guard(&mut self, root: u32) {
+        self.guard = root;
+    }
+
+    /// Emit the expression rooted at `root` as a FILTER constraint whenever
+    /// the rule fires.
+    pub fn push_filter(&mut self, root: u32) {
+        self.filters.push(root);
+    }
+}
 
 /// One alignment rule. Stored in a flat `Vec`; rule ids are indices into it,
 /// and "first matching rule in id order wins" is the tie-break both
@@ -54,6 +133,14 @@ pub enum Rule {
         lhs: TriplePattern,
         rhs: Vec<TriplePattern>,
     },
+    /// Complex correspondence: like [`Rule::Predicate`] but the replacement
+    /// is a guarded group-pattern template — triple chains linked by
+    /// existentials, emitted FILTER constraints / value transforms, and an
+    /// optional firing condition. See [`RuleTemplate`].
+    Complex {
+        lhs: TriplePattern,
+        tmpl: RuleTemplate,
+    },
 }
 
 /// Error adding a rule to the store.
@@ -72,6 +159,19 @@ pub enum AlignError {
     /// counters are meaningful only within one rewrite call, so a rule
     /// carrying one could capture the engine's own existentials.
     FreshTerm,
+    /// A template expression pool is not self-contained: a child index
+    /// points at or past its own node (the pool must be topologically
+    /// ordered), or a guard/filter root is out of bounds.
+    MalformedTemplateExpr,
+    /// A guard expression references a variable the rule's lhs does not
+    /// bind. Guards are decided against lhs bindings alone, so an unbound
+    /// variable could never be evaluated — nor even named consistently in
+    /// the residual FILTER.
+    GuardVariableUnbound,
+    /// A template filter references a variable that is neither lhs-bound
+    /// nor existential (occurring in the template's triples): it would
+    /// dangle in the rewritten query, constraining nothing.
+    TemplateVariableUnbound,
 }
 
 impl std::fmt::Display for AlignError {
@@ -89,6 +189,15 @@ impl std::fmt::Display for AlignError {
             AlignError::FreshTerm => {
                 f.write_str("alignment rules must not contain fresh (rewriter-minted) terms")
             }
+            AlignError::MalformedTemplateExpr => f.write_str(
+                "template expression pool must be topologically ordered and self-contained",
+            ),
+            AlignError::GuardVariableUnbound => {
+                f.write_str("guard expression references a variable not bound by the rule lhs")
+            }
+            AlignError::TemplateVariableUnbound => f.write_str(
+                "template filter references a variable that is neither lhs-bound nor existential",
+            ),
         }
     }
 }
@@ -139,6 +248,36 @@ struct DenseIndex {
     tmpl_lhs: Box<[TriplePattern]>,
     tmpl_rhs_off: Box<[u32]>,
     rhs_pool: Box<[TriplePattern]>,
+    /// Complex-template pools in the same by-rule-id CSR layout as
+    /// `rhs_pool`: `tmpl_guard[id]` is the rule's guard root ([`NO_EXPR`]
+    /// when absent or for non-complex rules), its expression pool is
+    /// `expr_pool[tmpl_expr_off[id] .. tmpl_expr_off[id + 1]]`, its filter
+    /// roots `filter_pool[tmpl_filter_off[id] .. tmpl_filter_off[id + 1]]`.
+    /// Expression child indices and the guard/filter roots are
+    /// template-relative, so the CSR slice reproduces each rule's
+    /// self-contained pool exactly — no index fix-up on the hot path. Flat
+    /// predicate rules get empty ranges, keeping their dispatch untouched.
+    tmpl_guard: Box<[u32]>,
+    tmpl_expr_off: Box<[u32]>,
+    expr_pool: Box<[ExprNode]>,
+    tmpl_filter_off: Box<[u32]>,
+    filter_pool: Box<[u32]>,
+}
+
+/// Borrowed view of one predicate/complex rule's templates, as returned by
+/// [`AlignmentStore::template`]. For flat [`Rule::Predicate`] rules the
+/// expression fields are empty and `guard` is [`NO_EXPR`], so a single code
+/// path in the rewriter serves both rule classes.
+#[derive(Clone, Copy, Debug)]
+pub struct TemplateRef<'a> {
+    pub lhs: TriplePattern,
+    pub triples: &'a [TriplePattern],
+    /// Template-relative expression pool shared by `guard` and `filters`.
+    pub exprs: &'a [ExprNode],
+    /// Root into `exprs`, or [`NO_EXPR`] for an unconditional rule.
+    pub guard: u32,
+    /// Roots into `exprs` of the always-emitted FILTER constraints.
+    pub filters: &'a [u32],
 }
 
 /// Vacant entity lane in [`DenseIndex::table`]. `u32::MAX` decodes as a
@@ -156,6 +295,29 @@ const KINDS: usize = 3;
 /// template-predicate key, so one unsigned compare rejects both without
 /// touching memory.
 const CONCRETE_TAG_CEIL: u32 = (KINDS as u32) << TAG_SHIFT;
+
+/// Walk the expression subtree rooted at `root` (build-time only — the
+/// scratch stack allocates) and check `ok` on every [`ExprNode::Term`]
+/// leaf. The pool is already validated topological, so indices are in
+/// bounds.
+fn leaves_satisfy(exprs: &[ExprNode], root: u32, mut ok: impl FnMut(Term) -> bool) -> bool {
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        match exprs[i as usize] {
+            ExprNode::Term(t) => {
+                if !ok(t) {
+                    return false;
+                }
+            }
+            ExprNode::Cmp(_, l, r) | ExprNode::And(l, r) | ExprNode::Or(l, r) => {
+                stack.push(l);
+                stack.push(r);
+            }
+            ExprNode::Not(c) => stack.push(c),
+        }
+    }
+    true
+}
 
 /// Rule set plus candidate-lookup indexes.
 ///
@@ -244,6 +406,94 @@ impl AlignmentStore {
         Ok(id)
     }
 
+    /// Register a complex correspondence `lhs ⇒ tmpl` (guarded
+    /// group-pattern template). Returns the rule id.
+    ///
+    /// Beyond the flat-rule checks, validation enforces the template's
+    /// internal scoping: the expression pool must be topologically ordered
+    /// with in-bounds guard/filter roots
+    /// ([`AlignError::MalformedTemplateExpr`]), every variable a guard
+    /// names must be lhs-bound ([`AlignError::GuardVariableUnbound`] —
+    /// guards are decided from lhs bindings alone), and every variable a
+    /// filter names must be lhs-bound or existential, i.e. occur in the
+    /// template's triples ([`AlignError::TemplateVariableUnbound`]). That
+    /// last rule is what lets instantiation run allocation-free: by the
+    /// time filters are copied, every leaf already has a binding or a fresh
+    /// rename recorded by the body.
+    pub fn add_complex_predicate(
+        &mut self,
+        lhs: TriplePattern,
+        tmpl: RuleTemplate,
+    ) -> Result<u32, AlignError> {
+        if lhs.p.is_var() {
+            return Err(AlignError::VariablePredicate);
+        }
+        if tmpl.triples.is_empty() {
+            return Err(AlignError::EmptyTemplate);
+        }
+        let expr_leaves = tmpl.exprs.iter().filter_map(|e| match e {
+            ExprNode::Term(t) => Some(*t),
+            _ => None,
+        });
+        if lhs
+            .terms()
+            .into_iter()
+            .chain(tmpl.triples.iter().flat_map(|tp| tp.terms()))
+            .chain(expr_leaves)
+            .any(Term::is_fresh)
+        {
+            return Err(AlignError::FreshTerm);
+        }
+        // Pool topology: children strictly before parents, roots in bounds.
+        let n = tmpl.exprs.len() as u32;
+        for (i, e) in tmpl.exprs.iter().enumerate() {
+            let i = i as u32;
+            let ordered = match *e {
+                ExprNode::Term(_) => true,
+                ExprNode::Cmp(_, l, r) | ExprNode::And(l, r) | ExprNode::Or(l, r) => l < i && r < i,
+                ExprNode::Not(c) => c < i,
+            };
+            if !ordered {
+                return Err(AlignError::MalformedTemplateExpr);
+            }
+        }
+        if (tmpl.guard != NO_EXPR && tmpl.guard >= n) || tmpl.filters.iter().any(|&r| r >= n) {
+            return Err(AlignError::MalformedTemplateExpr);
+        }
+        // Variable scoping. Blank nodes follow the same existential
+        // convention as variables (the rhs rename path treats them alike).
+        let lhs_bound = |t: Term| t.is_var() && (t == lhs.s || t == lhs.o);
+        let existential = |t: Term| {
+            tmpl.triples
+                .iter()
+                .any(|tp| tp.s == t || tp.p == t || tp.o == t)
+        };
+        let needs_binding = |t: Term| t.is_var() || t.kind() == TermKind::Blank;
+        if tmpl.guard != NO_EXPR
+            && !leaves_satisfy(&tmpl.exprs, tmpl.guard, |t| {
+                !needs_binding(t) || lhs_bound(t)
+            })
+        {
+            return Err(AlignError::GuardVariableUnbound);
+        }
+        for &root in &tmpl.filters {
+            if !leaves_satisfy(&tmpl.exprs, root, |t| {
+                !needs_binding(t) || lhs_bound(t) || existential(t)
+            }) {
+                return Err(AlignError::TemplateVariableUnbound);
+            }
+        }
+        let id = self.next_id();
+        self.predicate_idx
+            .entry(lhs.p.symbol())
+            .or_default()
+            .push(id);
+        self.rules.push(Rule::Complex { lhs, tmpl });
+        self.dense = None;
+        self.revision += 1;
+        Ok(id)
+    }
+
     /// Freeze the candidate indexes into dense direct-indexed tables sized
     /// by `symbol_bound` (the interner's
     /// [`symbol_bound`](crate::interner::Interner::symbol_bound) at freeze
@@ -317,17 +567,37 @@ impl AlignmentStore {
             pred_ids[start..start + ids.len()].copy_from_slice(ids.as_slice());
         }
 
-        // Flat template pools by rule id.
+        // Flat template pools by rule id. Complex rules add their guard,
+        // expression, and filter-root pools in the same CSR shape; flat and
+        // entity rules contribute empty ranges, so the extra pools cost
+        // nothing on their dispatch path.
         let placeholder = TriplePattern::new(Term::fresh(0), Term::fresh(0), Term::fresh(0));
         let mut tmpl_lhs = vec![placeholder; self.rules.len()].into_boxed_slice();
         let mut tmpl_rhs_off = vec![0u32; self.rules.len() + 1];
         let mut rhs_pool = Vec::new();
+        let mut tmpl_guard = vec![NO_EXPR; self.rules.len()].into_boxed_slice();
+        let mut tmpl_expr_off = vec![0u32; self.rules.len() + 1];
+        let mut expr_pool = Vec::new();
+        let mut tmpl_filter_off = vec![0u32; self.rules.len() + 1];
+        let mut filter_pool = Vec::new();
         for (id, rule) in self.rules.iter().enumerate() {
-            if let Rule::Predicate { lhs, rhs } = rule {
-                tmpl_lhs[id] = *lhs;
-                rhs_pool.extend_from_slice(rhs);
+            match rule {
+                Rule::Predicate { lhs, rhs } => {
+                    tmpl_lhs[id] = *lhs;
+                    rhs_pool.extend_from_slice(rhs);
+                }
+                Rule::Complex { lhs, tmpl } => {
+                    tmpl_lhs[id] = *lhs;
+                    rhs_pool.extend_from_slice(&tmpl.triples);
+                    tmpl_guard[id] = tmpl.guard;
+                    expr_pool.extend_from_slice(&tmpl.exprs);
+                    filter_pool.extend_from_slice(&tmpl.filters);
+                }
+                Rule::Entity { .. } => {}
             }
             tmpl_rhs_off[id + 1] = rhs_pool.len() as u32;
+            tmpl_expr_off[id + 1] = expr_pool.len() as u32;
+            tmpl_filter_off[id + 1] = filter_pool.len() as u32;
         }
 
         self.dense = Some(DenseIndex {
@@ -337,25 +607,52 @@ impl AlignmentStore {
             tmpl_lhs,
             tmpl_rhs_off: tmpl_rhs_off.into_boxed_slice(),
             rhs_pool: rhs_pool.into_boxed_slice(),
+            tmpl_guard,
+            tmpl_expr_off: tmpl_expr_off.into_boxed_slice(),
+            expr_pool: expr_pool.into_boxed_slice(),
+            tmpl_filter_off: tmpl_filter_off.into_boxed_slice(),
+            filter_pool: filter_pool.into_boxed_slice(),
         });
         true
     }
 
-    /// The lhs/rhs templates of predicate rule `id`. Only meaningful for
-    /// ids yielded by [`AlignmentStore::predicate_candidates`] (or an
-    /// equivalent scan); on the dense path this reads the flat template
-    /// pools and never touches the rule list.
+    /// The templates of predicate/complex rule `id` as a uniform
+    /// [`TemplateRef`] (flat rules surface empty expression fields). Only
+    /// meaningful for ids yielded by
+    /// [`AlignmentStore::predicate_candidates`] (or an equivalent scan);
+    /// on the dense path this reads the flat template pools and never
+    /// touches the rule list.
     #[inline]
-    pub fn template(&self, id: u32) -> (TriplePattern, &[TriplePattern]) {
+    pub fn template(&self, id: u32) -> TemplateRef<'_> {
         if let Some(dense) = &self.dense {
-            let lhs = dense.tmpl_lhs[id as usize];
-            let start = dense.tmpl_rhs_off[id as usize] as usize;
-            let end = dense.tmpl_rhs_off[id as usize + 1] as usize;
-            return (lhs, &dense.rhs_pool[start..end]);
+            let id = id as usize;
+            return TemplateRef {
+                lhs: dense.tmpl_lhs[id],
+                triples: &dense.rhs_pool
+                    [dense.tmpl_rhs_off[id] as usize..dense.tmpl_rhs_off[id + 1] as usize],
+                exprs: &dense.expr_pool
+                    [dense.tmpl_expr_off[id] as usize..dense.tmpl_expr_off[id + 1] as usize],
+                guard: dense.tmpl_guard[id],
+                filters: &dense.filter_pool
+                    [dense.tmpl_filter_off[id] as usize..dense.tmpl_filter_off[id + 1] as usize],
+            };
         }
         match &self.rules[id as usize] {
-            Rule::Predicate { lhs, rhs } => (*lhs, rhs),
-            _ => unreachable!("template id points at a non-predicate rule"),
+            Rule::Predicate { lhs, rhs } => TemplateRef {
+                lhs: *lhs,
+                triples: rhs,
+                exprs: &[],
+                guard: NO_EXPR,
+                filters: &[],
+            },
+            Rule::Complex { lhs, tmpl } => TemplateRef {
+                lhs: *lhs,
+                triples: &tmpl.triples,
+                exprs: &tmpl.exprs,
+                guard: tmpl.guard,
+                filters: &tmpl.filters,
+            },
+            Rule::Entity { .. } => unreachable!("template id points at a non-predicate rule"),
         }
     }
 
@@ -509,6 +806,184 @@ mod tests {
             store.add_predicate(lhs, vec![]),
             Err(AlignError::EmptyTemplate)
         );
+    }
+
+    #[test]
+    fn complex_builder_validation() {
+        use crate::pattern::CmpOp;
+
+        let mut it = Interner::new();
+        let x = var(&mut it, "x");
+        let y = var(&mut it, "y");
+        let z = var(&mut it, "z"); // bound nowhere
+        let p = iri(&mut it, "http://p");
+        let q = iri(&mut it, "http://q");
+        let c = iri(&mut it, "http://c");
+        let lhs = TriplePattern::new(x, p, y);
+        let mut store = AlignmentStore::new();
+        let eq = |t: &mut RuleTemplate, a: Term, b: Term| {
+            let l = t.push_expr(ExprNode::Term(a));
+            let r = t.push_expr(ExprNode::Term(b));
+            t.push_expr(ExprNode::Cmp(CmpOp::Eq, l, r))
+        };
+
+        // Guard naming a variable the lhs does not bind.
+        let mut t = RuleTemplate::from_triples(vec![TriplePattern::new(x, q, y)]);
+        let g = eq(&mut t, z, c);
+        t.set_guard(g);
+        assert_eq!(
+            store.add_complex_predicate(lhs, t),
+            Err(AlignError::GuardVariableUnbound)
+        );
+
+        // Filter naming a variable that is neither lhs-bound nor in the
+        // template body.
+        let mut t = RuleTemplate::from_triples(vec![TriplePattern::new(x, q, y)]);
+        let f = eq(&mut t, z, c);
+        t.push_filter(f);
+        assert_eq!(
+            store.add_complex_predicate(lhs, t),
+            Err(AlignError::TemplateVariableUnbound)
+        );
+
+        // Expression pool not topologically ordered: child at its own index.
+        let mut t = RuleTemplate::from_triples(vec![TriplePattern::new(x, q, y)]);
+        t.push_expr(ExprNode::Not(0));
+        t.set_guard(0);
+        assert_eq!(
+            store.add_complex_predicate(lhs, t),
+            Err(AlignError::MalformedTemplateExpr)
+        );
+
+        // Guard / filter roots out of bounds.
+        let mut t = RuleTemplate::from_triples(vec![TriplePattern::new(x, q, y)]);
+        t.set_guard(7);
+        assert_eq!(
+            store.add_complex_predicate(lhs, t),
+            Err(AlignError::MalformedTemplateExpr)
+        );
+        let mut t = RuleTemplate::from_triples(vec![TriplePattern::new(x, q, y)]);
+        t.push_filter(7);
+        assert_eq!(
+            store.add_complex_predicate(lhs, t),
+            Err(AlignError::MalformedTemplateExpr)
+        );
+
+        // Flat-rule checks still apply: empty body, fresh terms (including
+        // in expression leaves), variable predicate.
+        assert_eq!(
+            store.add_complex_predicate(lhs, RuleTemplate::default()),
+            Err(AlignError::EmptyTemplate)
+        );
+        let mut t = RuleTemplate::from_triples(vec![TriplePattern::new(x, q, y)]);
+        let f = eq(&mut t, y, Term::fresh(2));
+        t.push_filter(f);
+        assert_eq!(
+            store.add_complex_predicate(lhs, t),
+            Err(AlignError::FreshTerm)
+        );
+        assert_eq!(
+            store.add_complex_predicate(
+                TriplePattern::new(x, x, y),
+                RuleTemplate::from_triples(vec![TriplePattern::new(x, q, y)])
+            ),
+            Err(AlignError::VariablePredicate)
+        );
+        assert!(store.is_empty(), "rejected rules must not be stored");
+
+        // Display coverage for the new variants.
+        for (err, needle) in [
+            (AlignError::MalformedTemplateExpr, "topologically"),
+            (AlignError::GuardVariableUnbound, "guard"),
+            (AlignError::TemplateVariableUnbound, "filter"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+
+        // And the happy path: guard over lhs vars, filter over an
+        // existential chain variable.
+        let w = var(&mut it, "w");
+        let mut t = RuleTemplate::from_triples(vec![
+            TriplePattern::new(x, q, w),
+            TriplePattern::new(w, q, y),
+        ]);
+        let g = eq(&mut t, y, c);
+        t.set_guard(g);
+        let f = eq(&mut t, w, c);
+        t.push_filter(f);
+        let id = store.add_complex_predicate(lhs, t.clone()).unwrap();
+        assert_eq!(store.rules()[id as usize], Rule::Complex { lhs, tmpl: t });
+    }
+
+    #[test]
+    fn complex_templates_survive_dense_freeze() {
+        use crate::pattern::CmpOp;
+
+        let mut it = Interner::new();
+        let x = var(&mut it, "x");
+        let y = var(&mut it, "y");
+        let c = iri(&mut it, "http://c");
+        let mut store = AlignmentStore::new();
+        // Interleave flat, complex, and entity rules so the CSR pools carry
+        // non-trivial offsets.
+        for i in 0..12 {
+            let p = iri(&mut it, &format!("http://src/p{i}"));
+            let q = iri(&mut it, &format!("http://tgt/p{i}"));
+            let lhs = TriplePattern::new(x, p, y);
+            match i % 3 {
+                0 => {
+                    store
+                        .add_predicate(lhs, vec![TriplePattern::new(x, q, y)])
+                        .unwrap();
+                }
+                1 => {
+                    let w = var(&mut it, "w");
+                    let mut t = RuleTemplate::from_triples(vec![
+                        TriplePattern::new(x, q, w),
+                        TriplePattern::new(w, q, y),
+                    ]);
+                    let l = t.push_expr(ExprNode::Term(y));
+                    let r = t.push_expr(ExprNode::Term(c));
+                    let g = t.push_expr(ExprNode::Cmp(CmpOp::Eq, l, r));
+                    t.set_guard(g);
+                    let fl = t.push_expr(ExprNode::Term(w));
+                    let fr = t.push_expr(ExprNode::Term(c));
+                    let f = t.push_expr(ExprNode::Cmp(CmpOp::Ne, fl, fr));
+                    t.push_filter(f);
+                    store.add_complex_predicate(lhs, t).unwrap();
+                }
+                _ => {
+                    store.add_entity(p, q).unwrap();
+                }
+            }
+        }
+        // Snapshot every predicate/complex template on the hash path...
+        let pred_ids: Vec<u32> = (0..store.len() as u32)
+            .filter(|&id| !matches!(store.rules()[id as usize], Rule::Entity { .. }))
+            .collect();
+        type Snap = (
+            TriplePattern,
+            Vec<TriplePattern>,
+            Vec<ExprNode>,
+            u32,
+            Vec<u32>,
+        );
+        let snap = |store: &AlignmentStore, id: u32| -> Snap {
+            let t = store.template(id);
+            (
+                t.lhs,
+                t.triples.to_vec(),
+                t.exprs.to_vec(),
+                t.guard,
+                t.filters.to_vec(),
+            )
+        };
+        let hash_snaps: Vec<Snap> = pred_ids.iter().map(|&id| snap(&store, id)).collect();
+        // ...then freeze and require the dense pools to reproduce them.
+        assert!(store.build_dense_index(it.symbol_bound()));
+        for (i, &id) in pred_ids.iter().enumerate() {
+            assert_eq!(snap(&store, id), hash_snaps[i], "rule {id}");
+        }
     }
 
     #[test]

@@ -688,8 +688,10 @@ fn copy_expr(src: &GroupPattern, e: u32, dst: &mut GroupPattern) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::align::RuleTemplate;
     use crate::interner::Interner;
     use crate::parser::{parse_bgp, parse_query};
+    use crate::pattern::{CmpOp, ExprNode};
 
     /// Two endpoints: ep0 aligns <http://a/p*>, ep1 aligns <http://b/p*>.
     fn two_endpoint_planner(it: &mut Interner) -> FederationPlanner {
@@ -779,6 +781,68 @@ mod tests {
             .plan(query.as_ref(), &it, RewriteLimits::with_union_branch_cap(1))
             .unwrap_err();
         assert!(matches!(err, RewriteError::UnionBranchesExceeded { .. }));
+    }
+
+    #[test]
+    fn plan_counts_complex_candidates_and_propagates_template_size_cap() {
+        let mut it = Interner::new();
+        let mut planner = FederationPlanner::new();
+        let mut store = AlignmentStore::new();
+        // A 3-triple existential chain with a value-transform FILTER:
+        // instantiated size 4 per matching pattern.
+        let lhs = parse_bgp("?s <http://c/p0> ?o", &mut it).unwrap().patterns[0];
+        let mut tmpl = RuleTemplate::from_triples(
+            parse_bgp(
+                "?s <http://c-tgt/h> ?m . ?m <http://c-tgt/t> ?n . ?n <http://c-tgt/v> ?o",
+                &mut it,
+            )
+            .unwrap()
+            .patterns,
+        );
+        let l = tmpl.push_expr(ExprNode::Term(lhs.o));
+        let r = tmpl.push_expr(ExprNode::Term(Term::literal(it.intern("\"0\""))));
+        let f = tmpl.push_expr(ExprNode::Cmp(CmpOp::Ne, l, r));
+        tmpl.push_filter(f);
+        store.add_complex_predicate(lhs, tmpl).unwrap();
+        store.build_dense_index(it.symbol_bound());
+        let ep = Term::iri(it.intern("http://c.example.org/sparql"));
+        planner.add_endpoint(ep, Arc::new(store));
+
+        let query = parse_query("SELECT * WHERE { ?s <http://c/p0> ?o }", &mut it).unwrap();
+        // Complex rules participate in candidate counting — the pattern
+        // routes to the endpoint rather than the residual — and the
+        // rendered subquery carries the chain plus the transform FILTER.
+        let plan = planner
+            .plan(query.as_ref(), &it, RewriteLimits::unbounded())
+            .unwrap();
+        assert_eq!(plan.endpoints.len(), 1);
+        assert_eq!(plan.endpoints[0].selectivity, 1);
+        assert_eq!(plan.n_residual_patterns, 0);
+        let sub = &plan.endpoints[0].subquery;
+        assert!(
+            sub.contains("<http://c-tgt/t>") && sub.contains("FILTER("),
+            "{sub}"
+        );
+
+        // The per-pattern template-size cap surfaces through the planner
+        // unchanged, like the UNION branch cap above.
+        let err = planner
+            .plan(
+                query.as_ref(),
+                &it,
+                RewriteLimits::with_template_size_cap(3),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RewriteError::TemplateSizeExceeded {
+                    cap: 3,
+                    required: 4
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

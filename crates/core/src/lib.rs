@@ -32,7 +32,11 @@
 //! * [`rewriter`] applies entity alignments (inside FILTER expressions
 //!   too) and expands a triple pattern matched by N predicate templates
 //!   into an N-branch UNION — the paper's union semantics — recursively
-//!   over the whole group tree.
+//!   over the whole group tree. Complex correspondences
+//!   ([`align::Rule::Complex`]: guarded group-pattern templates with
+//!   chain bodies, emitted FILTER constraints, and value transforms) ride
+//!   the same engine — guards are statically decided per match where
+//!   possible and emitted as residual FILTERs where not.
 //! * [`cache`] exploits that rewriting is deterministic per (query text,
 //!   rule set): [`cache::fingerprint_query`] canonicalizes request text in
 //!   a single ~100ns byte-level pass (whitespace, keyword case, PREFIX
@@ -82,7 +86,7 @@ pub mod rewriter;
 pub mod smallvec;
 pub mod term;
 
-pub use align::{AlignError, AlignmentStore, Rule};
+pub use align::{AlignError, AlignmentStore, Rule, RuleTemplate, TemplateRef, NO_EXPR};
 pub use cache::{fingerprint_query, fingerprint_raw, CacheConfig, QueryFingerprint, RewriteCache};
 pub use federate::{
     classify_http_status, classify_io_error, read_response, BackoffPolicy, BreakerConfig,

@@ -257,6 +257,26 @@ impl GroupPattern {
         idx
     }
 
+    /// Append a self-contained expression pool (child indices relative to
+    /// `exprs` itself), rebasing every child index onto this pattern's
+    /// buffer and mapping each leaf term through `map`. Returns the base
+    /// index of the copied block: node `i` of the source pool lands at
+    /// `base + i`. This is how rule templates instantiate their guard and
+    /// FILTER-constraint trees in place — one pass, no intermediate tree.
+    pub fn import_exprs(&mut self, exprs: &[ExprNode], mut map: impl FnMut(Term) -> Term) -> u32 {
+        let base = self.exprs.len() as u32;
+        for &e in exprs {
+            self.exprs.push(match e {
+                ExprNode::Term(t) => ExprNode::Term(map(t)),
+                ExprNode::Cmp(op, l, r) => ExprNode::Cmp(op, base + l, base + r),
+                ExprNode::And(l, r) => ExprNode::And(base + l, base + r),
+                ExprNode::Or(l, r) => ExprNode::Or(base + l, base + r),
+                ExprNode::Not(c) => ExprNode::Not(base + c),
+            });
+        }
+        base
+    }
+
     /// Clear all buffers (capacity retained) back to the empty group.
     pub fn clear(&mut self) {
         self.nodes.clear();

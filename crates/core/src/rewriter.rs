@@ -31,6 +31,17 @@
 //!      the instantiated templates, **one branch per matching rule, in rule
 //!      id order**. Nothing is silently dropped.
 //!
+//!    Complex rules ([`Rule::Complex`]) take one extra step: each
+//!    candidate's guard is statically evaluated against the lhs bindings
+//!    **before** the arity above is decided (three-valued — a statically
+//!    false guard removes the rule from the candidate set, possibly
+//!    collapsing a would-be UNION to a single match or a pass-through; an
+//!    undecidable guard lets the rule fire and emits the instantiated
+//!    guard as a residual `FILTER` for the endpoint to decide). A firing
+//!    complex rule appends its body chain exactly like a flat rhs and
+//!    emits its template FILTER constraints — the value-transform carriers
+//!    — alongside the instantiated triples.
+//!
 //!    Variables introduced by a template (present in rhs, absent from lhs)
 //!    become [`TermKind::Fresh`](crate::term::TermKind::Fresh) terms
 //!    numbered by a per-rewrite counter — no string is interned and no name
@@ -99,9 +110,9 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::align::{AlignmentStore, Rule};
+use crate::align::{AlignmentStore, Rule, TemplateRef, NO_EXPR};
 use crate::pattern::{
-    Bgp, ChainBuilder, ExprNode, GroupPattern, PatternNode, Query, QueryRef, SelectList,
+    Bgp, ChainBuilder, CmpOp, ExprNode, GroupPattern, PatternNode, Query, QueryRef, SelectList,
     TriplePattern,
 };
 use crate::term::{Symbol, Term, TermKind};
@@ -118,6 +129,13 @@ pub enum RewriteError {
     /// branches minted by multi-template expansion, not UNIONs the input
     /// already contained).
     UnionBranchesExceeded { cap: u32, required: u32 },
+    /// Instantiating the templates that fire for one source pattern would
+    /// emit more output (triples plus FILTER constraints, residual guard
+    /// included) than [`RewriteLimits::max_template_size`] allows —
+    /// chain-rule bodies multiply with UNION arity, and this bounds the
+    /// product per pattern. `required` is the total the firing candidate
+    /// set would have emitted.
+    TemplateSizeExceeded { cap: u32, required: u32 },
 }
 
 impl fmt::Display for RewriteError {
@@ -126,6 +144,10 @@ impl fmt::Display for RewriteError {
             RewriteError::UnionBranchesExceeded { cap, required } => write!(
                 f,
                 "rewrite expansion exceeds the UNION branch cap: {required} branches needed, cap is {cap}"
+            ),
+            RewriteError::TemplateSizeExceeded { cap, required } => write!(
+                f,
+                "template instantiation exceeds the per-pattern size cap: {required} nodes needed, cap is {cap}"
             ),
         }
     }
@@ -142,6 +164,12 @@ pub struct RewriteLimits {
     /// matching rule per pattern, so a query whose patterns each match many
     /// templates grows multiplicatively in output size; this bounds it).
     pub max_union_branches: u32,
+    /// Maximum output size (instantiated triples + emitted FILTER
+    /// constraints, residual guard included) the templates firing for one
+    /// source pattern may produce. Chain rules multiply their body length
+    /// into every UNION branch, so this caps the per-pattern product that
+    /// `max_union_branches` (which only counts branches) cannot see.
+    pub max_template_size: u32,
 }
 
 impl RewriteLimits {
@@ -150,6 +178,7 @@ impl RewriteLimits {
     pub fn unbounded() -> RewriteLimits {
         RewriteLimits {
             max_union_branches: u32::MAX,
+            max_template_size: u32::MAX,
         }
     }
 
@@ -158,6 +187,16 @@ impl RewriteLimits {
     pub fn with_union_branch_cap(cap: u32) -> RewriteLimits {
         RewriteLimits {
             max_union_branches: cap,
+            ..RewriteLimits::unbounded()
+        }
+    }
+
+    /// Cap per-pattern instantiated template size at `cap`.
+    #[inline]
+    pub fn with_template_size_cap(cap: u32) -> RewriteLimits {
+        RewriteLimits {
+            max_template_size: cap,
+            ..RewriteLimits::unbounded()
         }
     }
 }
@@ -200,6 +239,9 @@ pub struct RewriteScratch {
     /// Cap on `branches_emitted` for this call (set from [`RewriteLimits`]
     /// at entry; `u32::MAX` on the infallible paths).
     branch_limit: u32,
+    /// Per-pattern instantiated-template-size cap for this call (from
+    /// [`RewriteLimits::max_template_size`]; `u32::MAX` when infallible).
+    tmpl_size_limit: u32,
 }
 
 impl RewriteScratch {
@@ -412,8 +454,7 @@ impl<S: Borrow<AlignmentStore>> RuleLookup for IndexedRewriter<S> {
         for &id in store.predicate_candidates(tp.p) {
             // `template` reads the dense flat lhs pool when the store is
             // frozen — no `Vec<Rule>` enum chase per candidate.
-            let (lhs, _) = store.template(id);
-            if lhs_matches(lhs, tp) {
+            if lhs_matches(store.template(id).lhs, tp) {
                 out.push(id);
             }
         }
@@ -439,10 +480,11 @@ impl<S: Borrow<AlignmentStore>> RuleLookup for LinearRewriter<S> {
 
     fn collect_matching_templates(&self, tp: TriplePattern, out: &mut Vec<u32>) {
         for (id, rule) in self.store().rules().iter().enumerate() {
-            if let Rule::Predicate { lhs, .. } = rule {
-                if lhs_matches(*lhs, tp) {
-                    out.push(id as u32);
-                }
+            let (Rule::Predicate { lhs, .. } | Rule::Complex { lhs, .. }) = rule else {
+                continue;
+            };
+            if lhs_matches(*lhs, tp) {
+                out.push(id as u32);
             }
         }
     }
@@ -472,19 +514,10 @@ fn lhs_matches(lhs: TriplePattern, tp: TriplePattern) -> bool {
     true
 }
 
-/// Instantiate a matched template: rhs with lhs-bound variables replaced by
-/// the query pattern's terms and unbound rhs variables (and rhs blank
-/// nodes) replaced by fresh terms, consistently within this application.
-fn instantiate_template(
-    lhs: TriplePattern,
-    rhs: &[TriplePattern],
-    tp: TriplePattern,
-    out: &mut Vec<TriplePattern>,
-    renames: &mut Vec<(Term, Term)>,
-    fresh_next: &mut u32,
-) {
-    // Bindings from lhs variables to the query pattern's terms. At most
-    // three entries, so a flat array beats a hash map.
+/// Bindings from lhs variables to the query pattern's terms. At most three
+/// entries, so a flat array beats a hash map.
+#[inline]
+fn bind_lhs(lhs: TriplePattern, tp: TriplePattern) -> ([(Symbol, Term); 3], usize) {
     let mut bindings: [(Symbol, Term); 3] = [(Symbol(u32::MAX), tp.s); 3];
     let mut n_bindings = 0;
     for (l, q) in [(lhs.s, tp.s), (lhs.p, tp.p), (lhs.o, tp.o)] {
@@ -493,44 +526,188 @@ fn instantiate_template(
             n_bindings += 1;
         }
     }
-    // Renames are per-application: consistent across this rhs, reset for the
-    // next expansion (the buffer's capacity is what the scratch retains).
-    renames.clear();
-    let subst = |t: Term, renames: &mut Vec<(Term, Term)>, fresh_next: &mut u32| -> Term {
-        match t.kind() {
-            TermKind::Var => {
-                let sym = t.symbol();
-                for &(s, replacement) in &bindings[..n_bindings] {
-                    if s == sym {
-                        return replacement;
-                    }
+    (bindings, n_bindings)
+}
+
+/// Apply one template application's substitution to a term: lhs-bound
+/// variables resolve through `bindings`; everything else variable-like
+/// (unbound template variables and blank nodes) takes the rename path.
+///
+/// A blank node in a BGP is a non-distinguished variable, so a template
+/// blank is an existential too: it must be freshened per application
+/// (sharing one label across expansions would force unrelated solutions to
+/// co-bind) and must never capture a blank the query itself uses. Renaming
+/// it to a fresh variable is semantically equivalent.
+fn subst(
+    t: Term,
+    bindings: &[(Symbol, Term)],
+    renames: &mut Vec<(Term, Term)>,
+    fresh_next: &mut u32,
+) -> Term {
+    match t.kind() {
+        TermKind::Var => {
+            let sym = t.symbol();
+            for &(s, replacement) in bindings {
+                if s == sym {
+                    return replacement;
                 }
             }
-            // A blank node in a BGP is a non-distinguished variable, so a
-            // template blank is an existential too: it must be freshened
-            // per application (sharing one label across expansions would
-            // force unrelated solutions to co-bind) and must never capture
-            // a blank the query itself uses. Renaming it to a fresh
-            // variable is semantically equivalent.
-            TermKind::Blank => {}
-            _ => return t,
         }
-        for &(s, replacement) in renames.iter() {
-            if s == t {
-                return replacement;
+        TermKind::Blank => {}
+        _ => return t,
+    }
+    for &(s, replacement) in renames.iter() {
+        if s == t {
+            return replacement;
+        }
+    }
+    let f = Term::fresh(*fresh_next);
+    *fresh_next += 1;
+    renames.push((t, f));
+    f
+}
+
+/// Instantiate a matched template's triple body: lhs-bound variables
+/// replaced by the query pattern's terms, unbound variables (and blank
+/// nodes) replaced by fresh terms, consistently within this application.
+/// Clears `renames` first — the rename map it leaves behind is what keeps a
+/// subsequent [`instantiate_residuals`] for the *same* application
+/// consistent with the body.
+fn instantiate_triples(
+    bindings: &[(Symbol, Term)],
+    triples: &[TriplePattern],
+    out: &mut Vec<TriplePattern>,
+    renames: &mut Vec<(Term, Term)>,
+    fresh_next: &mut u32,
+) {
+    // Renames are per-application: consistent across this body, reset for
+    // the next expansion (the buffer's capacity is what the scratch
+    // retains).
+    renames.clear();
+    for template in triples {
+        out.push(TriplePattern::new(
+            subst(template.s, bindings, renames, fresh_next),
+            subst(template.p, bindings, renames, fresh_next),
+            subst(template.o, bindings, renames, fresh_next),
+        ));
+    }
+}
+
+/// Three-valued result of deciding a guard statically.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+/// Statically evaluate a template guard against the lhs bindings (Kleene
+/// three-valued logic). `=` / `!=` over two operands that resolve to
+/// concrete IRI/literal terms is decided by term identity — the engine's
+/// equality is syntactic, the same notion BGP matching uses. Ordered
+/// comparisons, unresolved variables, and bare term operands are `Unknown`:
+/// the rule still fires and the instantiated guard rides along as a
+/// residual `FILTER` for the endpoint, which owns value semantics. A pure
+/// function of the pattern's terms, so rewriting stays deterministic and
+/// cache-safe.
+fn eval_guard(exprs: &[ExprNode], root: u32, bindings: &[(Symbol, Term)]) -> Truth {
+    // Resolve a comparison operand to a concrete term, if statically known.
+    let resolve = |e: u32| -> Option<Term> {
+        let ExprNode::Term(mut t) = exprs[e as usize] else {
+            return None;
+        };
+        if t.kind() == TermKind::Var {
+            let sym = t.symbol();
+            t = bindings.iter().find(|&&(s, _)| s == sym).map(|&(_, r)| r)?;
+        }
+        matches!(t.kind(), TermKind::Iri | TermKind::Literal).then_some(t)
+    };
+    match exprs[root as usize] {
+        ExprNode::Term(_) => Truth::Unknown,
+        ExprNode::Cmp(op, l, r) => {
+            if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                return Truth::Unknown;
+            }
+            match (resolve(l), resolve(r)) {
+                (Some(a), Some(b)) => {
+                    if (a == b) == matches!(op, CmpOp::Eq) {
+                        Truth::True
+                    } else {
+                        Truth::False
+                    }
+                }
+                _ => Truth::Unknown,
             }
         }
-        let f = Term::fresh(*fresh_next);
-        *fresh_next += 1;
-        renames.push((t, f));
-        f
-    };
-    for template in rhs {
-        out.push(TriplePattern::new(
-            subst(template.s, renames, fresh_next),
-            subst(template.p, renames, fresh_next),
-            subst(template.o, renames, fresh_next),
-        ));
+        ExprNode::And(l, r) => match (
+            eval_guard(exprs, l, bindings),
+            eval_guard(exprs, r, bindings),
+        ) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        },
+        ExprNode::Or(l, r) => match (
+            eval_guard(exprs, l, bindings),
+            eval_guard(exprs, r, bindings),
+        ) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        },
+        ExprNode::Not(c) => match eval_guard(exprs, c, bindings) {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        },
+    }
+}
+
+/// The guard verdict for one candidate template against one query pattern.
+/// Unconditional templates (flat rules, or complex rules without a guard)
+/// are trivially `True`.
+#[inline]
+fn template_truth(tmpl: &TemplateRef<'_>, bindings: &[(Symbol, Term)]) -> Truth {
+    if tmpl.guard == NO_EXPR {
+        Truth::True
+    } else {
+        eval_guard(tmpl.exprs, tmpl.guard, bindings)
+    }
+}
+
+/// Number of residual FILTER constraints this application will emit: the
+/// template's own filters, plus the guard when it could not be decided.
+#[inline]
+fn residual_count(tmpl: &TemplateRef<'_>, truth: Truth) -> u32 {
+    tmpl.filters.len() as u32 + (truth == Truth::Unknown) as u32
+}
+
+/// Instantiate a firing template's residual FILTER constraints: import the
+/// template expression pool into the output (one pass, child indices
+/// rebased, leaves substituted with the same bindings/renames the body
+/// used) and chain one `FILTER` node per residual root. Call only when
+/// `residual_count > 0`, and only after [`instantiate_triples`] for the
+/// same application — the body's renames are what name the existentials the
+/// filters constrain.
+fn instantiate_residuals(
+    tmpl: &TemplateRef<'_>,
+    truth: Truth,
+    bindings: &[(Symbol, Term)],
+    pattern: &mut GroupPattern,
+    renames: &mut Vec<(Term, Term)>,
+    fresh_next: &mut u32,
+    chain: &mut ChainBuilder,
+) {
+    let base = pattern.import_exprs(tmpl.exprs, |t| subst(t, bindings, renames, fresh_next));
+    if truth == Truth::Unknown {
+        let node = pattern.push_node(PatternNode::Filter {
+            expr: base + tmpl.guard,
+        });
+        chain.push(pattern, node);
+    }
+    for &f in tmpl.filters {
+        let node = pattern.push_node(PatternNode::Filter { expr: base + f });
+        chain.push(pattern, node);
     }
 }
 
@@ -568,18 +745,68 @@ fn rewrite_run<L: RuleLookup>(
         );
         ids.clear();
         lookup.collect_matching_templates(substituted, &mut ids);
+        // Guard pre-pass: drop candidates whose guard is statically false
+        // *before* match arity is decided — a guard miss can collapse a
+        // would-be UNION into a single inline expansion, or into a plain
+        // pass-through. The same pass sums what the survivors will emit,
+        // enforcing the per-pattern template-size cap.
+        let mut tmpl_size: u32 = 0;
+        ids.retain(|&id| {
+            let tmpl = lookup.rules().template(id);
+            let (bindings, nb) = bind_lhs(tmpl.lhs, substituted);
+            let truth = template_truth(&tmpl, &bindings[..nb]);
+            if truth == Truth::False {
+                return false;
+            }
+            tmpl_size = tmpl_size
+                .saturating_add(tmpl.triples.len() as u32)
+                .saturating_add(residual_count(&tmpl, truth));
+            true
+        });
+        if tmpl_size > scratch.tmpl_size_limit {
+            // Put the id buffer back before bailing so the scratch keeps
+            // its capacity for the next (possibly uncapped) call.
+            scratch.match_ids = ids;
+            return Err(RewriteError::TemplateSizeExceeded {
+                cap: scratch.tmpl_size_limit,
+                required: tmpl_size,
+            });
+        }
         match ids.as_slice() {
             [] => scratch.pattern.triples.push(substituted),
             [id] => {
-                let (lhs, rhs) = lookup.rules().template(*id);
-                instantiate_template(
-                    lhs,
-                    rhs,
-                    substituted,
+                let tmpl = lookup.rules().template(*id);
+                let (bindings, nb) = bind_lhs(tmpl.lhs, substituted);
+                let truth = template_truth(&tmpl, &bindings[..nb]);
+                instantiate_triples(
+                    &bindings[..nb],
+                    tmpl.triples,
                     &mut scratch.pattern.triples,
                     &mut scratch.renames,
                     &mut scratch.fresh_next,
                 );
+                if residual_count(&tmpl, truth) > 0 {
+                    // The instantiated body extended the current run; close
+                    // it (body included), chain the FILTER nodes as
+                    // siblings, and start a fresh run after them.
+                    flush(run_start, scratch, chain);
+                    let RewriteScratch {
+                        pattern,
+                        renames,
+                        fresh_next,
+                        ..
+                    } = scratch;
+                    instantiate_residuals(
+                        &tmpl,
+                        truth,
+                        &bindings[..nb],
+                        pattern,
+                        renames,
+                        fresh_next,
+                        chain,
+                    );
+                    run_start = scratch.pattern.triples.len() as u32;
+                }
             }
             many => {
                 // Paper §4: several applicable alignments ⇒ the union of
@@ -599,12 +826,13 @@ fn rewrite_run<L: RuleLookup>(
                 flush(run_start, scratch, chain);
                 let mut branches = ChainBuilder::new();
                 for &id in many {
-                    let (lhs, rhs) = lookup.rules().template(id);
+                    let tmpl = lookup.rules().template(id);
+                    let (bindings, nb) = bind_lhs(tmpl.lhs, substituted);
+                    let truth = template_truth(&tmpl, &bindings[..nb]);
                     let branch_start = scratch.pattern.triples.len() as u32;
-                    instantiate_template(
-                        lhs,
-                        rhs,
-                        substituted,
+                    instantiate_triples(
+                        &bindings[..nb],
+                        tmpl.triples,
                         &mut scratch.pattern.triples,
                         &mut scratch.renames,
                         &mut scratch.fresh_next,
@@ -614,7 +842,28 @@ fn rewrite_run<L: RuleLookup>(
                         start: branch_start,
                         len: branch_len,
                     });
-                    let group = scratch.pattern.push_node(PatternNode::Group { first: run });
+                    let mut inner = ChainBuilder::new();
+                    inner.push(&mut scratch.pattern, run);
+                    if residual_count(&tmpl, truth) > 0 {
+                        let RewriteScratch {
+                            pattern,
+                            renames,
+                            fresh_next,
+                            ..
+                        } = scratch;
+                        instantiate_residuals(
+                            &tmpl,
+                            truth,
+                            &bindings[..nb],
+                            pattern,
+                            renames,
+                            fresh_next,
+                            &mut inner,
+                        );
+                    }
+                    let group = scratch.pattern.push_node(PatternNode::Group {
+                        first: inner.first(),
+                    });
                     branches.push(&mut scratch.pattern, group);
                 }
                 let union = scratch.pattern.push_node(PatternNode::Union {
@@ -748,6 +997,7 @@ fn begin_rewrite(
     scratch.fresh_next = 0;
     scratch.branches_emitted = 0;
     scratch.branch_limit = limits.max_union_branches;
+    scratch.tmpl_size_limit = limits.max_template_size;
     for t in terms {
         if t.is_fresh() {
             scratch.fresh_next = scratch.fresh_next.max(t.fresh_index() + 1);
@@ -943,6 +1193,199 @@ mod tests {
         rw.rewrite_query_into(&query, &mut scratch);
         assert_eq!(scratch.to_query(), at_cap);
         // Infallible path == unbounded fallible path.
+        assert_eq!(rw.rewrite_query(&query), at_cap);
+    }
+
+    #[test]
+    fn guarded_rule_three_valued_semantics() {
+        use crate::align::RuleTemplate;
+        use crate::interner::Interner;
+        use crate::parser::{parse_bgp, parse_query};
+
+        let mut it = Interner::new();
+        let mut store = AlignmentStore::new();
+        // ?a <src/p> ?b ⇒ ?a <tgt/p> ?b  WHEN ?b = <http://val/yes>
+        let lhs = parse_bgp("?a <http://src/p> ?b", &mut it).unwrap().patterns[0];
+        let body = parse_bgp("?a <http://tgt/p> ?b", &mut it).unwrap().patterns;
+        let yes = crate::Term::iri(it.intern("http://val/yes"));
+        let mut tmpl = RuleTemplate::from_triples(body);
+        let l = tmpl.push_expr(ExprNode::Term(lhs.o));
+        let r = tmpl.push_expr(ExprNode::Term(yes));
+        let g = tmpl.push_expr(ExprNode::Cmp(CmpOp::Eq, l, r));
+        tmpl.set_guard(g);
+        store.add_complex_predicate(lhs, tmpl).unwrap();
+
+        let q_true = parse_query(
+            "SELECT * WHERE { ?x <http://src/p> <http://val/yes> }",
+            &mut it,
+        )
+        .unwrap();
+        let q_false = parse_query(
+            "SELECT * WHERE { ?x <http://src/p> <http://val/no> }",
+            &mut it,
+        )
+        .unwrap();
+        let q_open = parse_query("SELECT * WHERE { ?x <http://src/p> ?y }", &mut it).unwrap();
+        let render = |store: &AlignmentStore, q: &crate::Query| {
+            IndexedRewriter::new(store)
+                .rewrite_query(q)
+                .display(&it)
+                .to_string()
+        };
+        for dense in [false, true] {
+            if dense {
+                assert!(store.build_dense_index(it.symbol_bound()));
+            }
+            // Statically true: fires cleanly, no residual FILTER.
+            let out = render(&store, &q_true);
+            assert!(out.contains("<http://tgt/p>"), "{out}");
+            assert!(!out.contains("FILTER"), "{out}");
+            // Statically false: the rule does not fire — pass-through.
+            let out = render(&store, &q_false);
+            assert!(out.contains("<http://src/p>"), "{out}");
+            assert!(!out.contains("<http://tgt/p>"), "{out}");
+            // Undecidable (object is an open variable): fires with the
+            // instantiated guard as a residual FILTER.
+            let out = render(&store, &q_open);
+            assert!(out.contains("<http://tgt/p>"), "{out}");
+            assert!(
+                out.contains("FILTER(?y = <http://val/yes>)"),
+                "residual guard: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_miss_collapses_union_and_chain_emits_transform_filter() {
+        use crate::align::RuleTemplate;
+        use crate::interner::Interner;
+        use crate::parser::{parse_bgp, parse_query};
+
+        let mut it = Interner::new();
+        let mut store = AlignmentStore::new();
+        let lhs = parse_bgp("?a <http://src/len> ?v", &mut it)
+            .unwrap()
+            .patterns[0];
+        // Rule 0, guarded on <u/cm>: 2-triple chain through an existential
+        // ?n, plus a value-transform filter ?n != ?v.
+        let chain = parse_bgp(
+            "?a <http://tgt/len> ?n . ?n <http://tgt/unit> <http://u/m>",
+            &mut it,
+        )
+        .unwrap()
+        .patterns;
+        let n = chain[0].o;
+        let cm = crate::Term::iri(it.intern("http://u/cm"));
+        let mut tmpl = RuleTemplate::from_triples(chain);
+        let l = tmpl.push_expr(ExprNode::Term(lhs.o));
+        let r = tmpl.push_expr(ExprNode::Term(cm));
+        let g = tmpl.push_expr(ExprNode::Cmp(CmpOp::Eq, l, r));
+        tmpl.set_guard(g);
+        let fl = tmpl.push_expr(ExprNode::Term(n));
+        let fr = tmpl.push_expr(ExprNode::Term(lhs.o));
+        let f = tmpl.push_expr(ExprNode::Cmp(CmpOp::Ne, fl, fr));
+        tmpl.push_filter(f);
+        store.add_complex_predicate(lhs, tmpl).unwrap();
+        // Rule 1, unguarded flat fallback on the same predicate.
+        let rhs = parse_bgp("?a <http://tgt/len0> ?v", &mut it)
+            .unwrap()
+            .patterns;
+        store.add_predicate(lhs, rhs).unwrap();
+
+        let query = parse_query(
+            "SELECT * WHERE { ?x <http://src/len> <http://u/in> }",
+            &mut it,
+        )
+        .unwrap();
+        let rw = IndexedRewriter::new(&store);
+        // Guard statically false for <http://u/in>: of the two candidates
+        // only the flat rule fires, so the would-be 2-branch UNION
+        // collapses to an inline single-match expansion.
+        let out = rw.rewrite_query(&query).display(&it).to_string();
+        assert!(!out.contains("UNION"), "{out}");
+        assert!(out.contains("<http://tgt/len0>"), "{out}");
+
+        // Guard statically true: both rules fire — a UNION whose guarded
+        // branch carries the chain and its transform FILTER (rendered with
+        // a fresh ?g existential), with no residual guard.
+        let query = parse_query(
+            "SELECT * WHERE { ?x <http://src/len> <http://u/cm> }",
+            &mut it,
+        )
+        .unwrap();
+        let out = rw.rewrite_query(&query).display(&it).to_string();
+        assert!(out.contains("UNION"), "{out}");
+        assert!(out.contains("<http://tgt/unit> <http://u/m>"), "{out}");
+        assert!(out.contains("FILTER(?g0 != <http://u/cm>)"), "{out}");
+        assert!(!out.contains("http://u/cm> = "), "no residual guard: {out}");
+
+        // Indexed and linear agree on all of it, dense or hash.
+        let linear_out = LinearRewriter::new(&store)
+            .rewrite_query(&query)
+            .display(&it)
+            .to_string();
+        assert_eq!(out, linear_out);
+        let bound = it.symbol_bound();
+        assert!(store.build_dense_index(bound));
+        let dense_out = IndexedRewriter::new(&store)
+            .rewrite_query(&query)
+            .display(&it)
+            .to_string();
+        assert_eq!(out, dense_out);
+    }
+
+    #[test]
+    fn template_size_cap_boundary() {
+        use crate::align::RuleTemplate;
+        use crate::interner::Interner;
+        use crate::parser::{parse_bgp, parse_query};
+
+        let mut it = Interner::new();
+        let mut store = AlignmentStore::new();
+        let lhs = parse_bgp("?a <http://src/p> ?b", &mut it).unwrap().patterns[0];
+        // 3-triple chain + 1 transform filter = 4 output nodes per firing.
+        let chain = parse_bgp(
+            "?a <http://t/p1> ?m . ?m <http://t/p2> ?n . ?n <http://t/p3> ?b",
+            &mut it,
+        )
+        .unwrap()
+        .patterns;
+        let m = chain[0].o;
+        let mut tmpl = RuleTemplate::from_triples(chain);
+        let fl = tmpl.push_expr(ExprNode::Term(m));
+        let fr = tmpl.push_expr(ExprNode::Term(lhs.o));
+        let f = tmpl.push_expr(ExprNode::Cmp(CmpOp::Ne, fl, fr));
+        tmpl.push_filter(f);
+        store.add_complex_predicate(lhs, tmpl).unwrap();
+
+        let query = parse_query("SELECT * WHERE { ?x <http://src/p> ?y }", &mut it).unwrap();
+        let rw = IndexedRewriter::new(&store);
+        let mut scratch = RewriteScratch::new();
+        rw.try_rewrite_ref_into(
+            query.as_ref(),
+            &mut scratch,
+            RewriteLimits::with_template_size_cap(4),
+        )
+        .expect("cap == required must succeed");
+        let at_cap = scratch.to_query();
+        let err = rw
+            .try_rewrite_ref_into(
+                query.as_ref(),
+                &mut scratch,
+                RewriteLimits::with_template_size_cap(3),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RewriteError::TemplateSizeExceeded {
+                cap: 3,
+                required: 4
+            }
+        );
+        assert!(err.to_string().contains("4 nodes"), "{err}");
+        // A failed capped call must not poison the scratch.
+        rw.rewrite_query_into(&query, &mut scratch);
+        assert_eq!(scratch.to_query(), at_cap);
         assert_eq!(rw.rewrite_query(&query), at_cap);
     }
 

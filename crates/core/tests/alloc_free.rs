@@ -13,8 +13,8 @@ use std::sync::{Mutex, MutexGuard};
 use sparql_rewrite_core::counting_alloc::{allocation_count, CountingAllocator};
 use sparql_rewrite_core::{
     fingerprint_query, parse_bgp, parse_query, parse_query_into, render_query_into, AlignmentStore,
-    CacheConfig, IndexedRewriter, Interner, LinearRewriter, ParseScratch, Query, QueryRef,
-    RewriteCache, RewriteScratch, Rewriter,
+    CacheConfig, CmpOp, ExprNode, IndexedRewriter, Interner, LinearRewriter, ParseScratch, Query,
+    QueryRef, RewriteCache, RewriteScratch, Rewriter, RuleTemplate, Term,
 };
 
 /// The allocation counter is process-global and the test harness runs tests
@@ -355,6 +355,136 @@ fn cache_hit_path_is_allocation_free() {
         allocation_count() - before,
         0,
         "steady-state fingerprint + cache lookup must not allocate"
+    );
+}
+
+/// Complex correspondences — guarded rules (statically true / statically
+/// false / undecidable), existential chain templates, and value-transform
+/// FILTERs — must be as allocation-free in steady state as flat templates.
+/// This drives the guard pre-pass, residual-FILTER emission (expression
+/// pool import with leaf substitution), and UNION branches that carry an
+/// inner group + FILTER chain.
+#[test]
+fn complex_rule_rewriting_is_allocation_free() {
+    let _guard = serialized();
+    let mut it = Interner::new();
+    let mut store = AlignmentStore::new();
+
+    // Guarded 1:1: fires only when ?b = <http://val/yes>; an undecidable
+    // match carries the instantiated guard along as a residual FILTER.
+    let g_lhs = parse_bgp("?a <http://src/g> ?b", &mut it).unwrap().patterns[0];
+    let mut tmpl =
+        RuleTemplate::from_triples(parse_bgp("?a <http://tgt/g> ?b", &mut it).unwrap().patterns);
+    let l = tmpl.push_expr(ExprNode::Term(g_lhs.o));
+    let r = tmpl.push_expr(ExprNode::Term(Term::iri(it.intern("http://val/yes"))));
+    let g = tmpl.push_expr(ExprNode::Cmp(CmpOp::Eq, l, r));
+    tmpl.set_guard(g);
+    store.add_complex_predicate(g_lhs, tmpl).unwrap();
+
+    // 1:2 existential chain plus an emitted value-transform FILTER.
+    let c_lhs = parse_bgp("?a <http://src/len> ?b", &mut it)
+        .unwrap()
+        .patterns[0];
+    let mut tmpl = RuleTemplate::from_triples(
+        parse_bgp("?a <http://tgt/q> ?m . ?m <http://tgt/v> ?b", &mut it)
+            .unwrap()
+            .patterns,
+    );
+    let l = tmpl.push_expr(ExprNode::Term(c_lhs.o));
+    let r = tmpl.push_expr(ExprNode::Term(Term::literal(it.intern("\"0\""))));
+    let f = tmpl.push_expr(ExprNode::Cmp(CmpOp::Ne, l, r));
+    tmpl.push_filter(f);
+    store.add_complex_predicate(c_lhs, tmpl).unwrap();
+
+    // Flat + guarded templates colliding on one predicate: every match
+    // expands into a UNION whose second branch is a group with a residual
+    // FILTER inside.
+    let m_lhs = parse_bgp("?a <http://src/multi> ?b", &mut it)
+        .unwrap()
+        .patterns[0];
+    let flat = parse_bgp("?a <http://tgt/m1> ?b", &mut it)
+        .unwrap()
+        .patterns;
+    store.add_predicate(m_lhs, flat).unwrap();
+    let mut tmpl = RuleTemplate::from_triples(
+        parse_bgp("?a <http://tgt/m2> ?b", &mut it)
+            .unwrap()
+            .patterns,
+    );
+    let l = tmpl.push_expr(ExprNode::Term(m_lhs.s));
+    let r = tmpl.push_expr(ExprNode::Term(Term::iri(it.intern("http://ex/skip"))));
+    let g = tmpl.push_expr(ExprNode::Cmp(CmpOp::Ne, l, r));
+    tmpl.set_guard(g);
+    store.add_complex_predicate(m_lhs, tmpl).unwrap();
+    // Serve from the dense direct-indexed tables, as production would.
+    assert!(store.build_dense_index(it.symbol_bound()));
+
+    let queries = vec![
+        // Guard statically true, statically false (rule pruned, pattern
+        // passes through), and undecidable (residual FILTER emitted).
+        parse_query(
+            "SELECT * WHERE { ?x <http://src/g> <http://val/yes> }",
+            &mut it,
+        )
+        .unwrap(),
+        parse_query(
+            "SELECT * WHERE { ?x <http://src/g> <http://val/no> }",
+            &mut it,
+        )
+        .unwrap(),
+        parse_query("SELECT * WHERE { ?x <http://src/g> ?y }", &mut it).unwrap(),
+        // Chain + transform twice over: two fresh existentials minted.
+        parse_query(
+            "SELECT * WHERE { ?x <http://src/len> ?y . ?y <http://src/len> ?z }",
+            &mut it,
+        )
+        .unwrap(),
+        parse_query("SELECT * WHERE { ?x <http://src/multi> ?y }", &mut it).unwrap(),
+    ];
+
+    let rewriter = IndexedRewriter::new(&store);
+    let mut scratch = RewriteScratch::new();
+    for q in &queries {
+        rewriter.rewrite_query_into(q, &mut scratch);
+    }
+    let expected: Vec<(usize, u32)> = queries
+        .iter()
+        .map(|q| {
+            rewriter.rewrite_query_into(q, &mut scratch);
+            (scratch.patterns().len(), scratch.fresh_count())
+        })
+        .collect();
+
+    let before = allocation_count();
+    for _ in 0..1_000 {
+        for (q, exp) in queries.iter().zip(&expected) {
+            rewriter.rewrite_query_into(q, &mut scratch);
+            assert_eq!((scratch.patterns().len(), scratch.fresh_count()), *exp);
+        }
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "steady-state complex-rule rewriting must not allocate"
+    );
+
+    // Same fixture through the linear strategy: guard pruning and residual
+    // emission share the engine, so it must be just as clean.
+    let linear = LinearRewriter::new(&store);
+    for q in &queries {
+        linear.rewrite_query_into(q, &mut scratch);
+    }
+    let before = allocation_count();
+    for _ in 0..100 {
+        for (q, exp) in queries.iter().zip(&expected) {
+            linear.rewrite_query_into(q, &mut scratch);
+            assert_eq!((scratch.patterns().len(), scratch.fresh_count()), *exp);
+        }
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "steady-state complex-rule rewriting (linear) must not allocate"
     );
 }
 

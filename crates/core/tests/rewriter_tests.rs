@@ -4,8 +4,9 @@
 //! equivalence on random rule sets and random group-shaped queries.
 
 use sparql_rewrite_core::{
-    parse_bgp, parse_query, AlignmentStore, Bgp, GroupPattern, IndexedRewriter, Interner,
-    LinearRewriter, PatternNode, Query, Rewriter, SelectList, Term, TriplePattern,
+    parse_bgp, parse_query, AlignmentStore, Bgp, CmpOp, ExprNode, GroupPattern, IndexedRewriter,
+    Interner, LinearRewriter, PatternNode, Query, Rewriter, RuleTemplate, SelectList, Term,
+    TriplePattern,
 };
 
 mod common;
@@ -503,9 +504,66 @@ fn random_term(rng: &mut Rng, it: &mut Interner, vocab: usize) -> Term {
     }
 }
 
+/// Random complex template for `lhs`: a chain body of depth 1..=3 linked by
+/// existential variables, a guard over the lhs variables (when any —
+/// sometimes statically decidable `=`/`!=`, sometimes an ordered comparison
+/// that stays residual, sometimes negated), and a transform-style filter
+/// relating a body variable to a constant.
+fn random_complex_template(rng: &mut Rng, it: &mut Interner, lhs: TriplePattern) -> RuleTemplate {
+    let depth = 1 + rng.below(3);
+    let mut triples = Vec::new();
+    let mut prev = if lhs.s.is_var() {
+        lhs.s
+    } else {
+        Term::var(it.intern("c0"))
+    };
+    for k in 0..depth {
+        let next = if k + 1 == depth && lhs.o.is_var() && rng.below(2) == 0 {
+            lhs.o
+        } else {
+            Term::var(it.intern(&format!("c{}", k + 1)))
+        };
+        triples.push(TriplePattern::new(
+            prev,
+            Term::iri(it.intern(&format!("http://tgt/p{}", rng.below(12)))),
+            next,
+        ));
+        prev = next;
+    }
+    let mut tmpl = RuleTemplate::from_triples(triples.clone());
+    let lhs_vars: Vec<Term> = [lhs.s, lhs.o].into_iter().filter(|t| t.is_var()).collect();
+    if !lhs_vars.is_empty() && rng.below(3) > 0 {
+        let v = lhs_vars[rng.below(lhs_vars.len())];
+        let l = tmpl.push_expr(ExprNode::Term(v));
+        let c = Term::iri(it.intern(&format!("http://ex/e{}", rng.below(20))));
+        let r = tmpl.push_expr(ExprNode::Term(c));
+        let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt][rng.below(3)];
+        let mut g = tmpl.push_expr(ExprNode::Cmp(op, l, r));
+        if rng.below(4) == 0 {
+            g = tmpl.push_expr(ExprNode::Not(g));
+        }
+        tmpl.set_guard(g);
+    }
+    if rng.below(2) == 0 {
+        // Body subjects/objects are always variables (existential chain
+        // links or lhs-bound), so this is a valid filter reference.
+        let bv = triples[rng.below(triples.len())].o;
+        let l = tmpl.push_expr(ExprNode::Term(bv));
+        let r = tmpl.push_expr(ExprNode::Term(Term::literal(
+            it.intern(&format!("\"t{}\"", rng.below(9))),
+        )));
+        let op = [CmpOp::Ne, CmpOp::Le, CmpOp::Gt][rng.below(3)];
+        let f = tmpl.push_expr(ExprNode::Cmp(op, l, r));
+        tmpl.push_filter(f);
+    }
+    tmpl
+}
+
 /// Random rule set over a fixed predicate vocabulary; about half the rules
-/// are entity alignments, and predicate templates deliberately collide on
-/// the same predicate so multi-template UNION expansion is exercised.
+/// are entity alignments, predicate templates deliberately collide on the
+/// same predicate so multi-template UNION expansion is exercised, and about
+/// a third of the templates are complex (guarded / chain / transform) so
+/// guard pruning and residual-FILTER emission run under both strategies.
 fn random_store(rng: &mut Rng, it: &mut Interner) -> AlignmentStore {
     let preds: Vec<Term> = (0..12)
         .map(|i| Term::iri(it.intern(&format!("http://ex/p{i}"))))
@@ -530,6 +588,11 @@ fn random_store(rng: &mut Rng, it: &mut Interner) -> AlignmentStore {
                 random_term(rng, it, 20)
             };
             let lhs = TriplePattern::new(s, preds[rng.below(preds.len())], o);
+            if rng.below(3) == 0 {
+                let tmpl = random_complex_template(rng, it, lhs);
+                store.add_complex_predicate(lhs, tmpl).unwrap();
+                continue;
+            }
             let n_rhs = 1 + rng.below(3);
             let rhs: Vec<TriplePattern> = (0..n_rhs)
                 .map(|k| {
@@ -598,7 +661,7 @@ fn property_indexed_equals_linear_on_random_group_queries() {
     for seed in 1..=25u64 {
         let mut rng = Rng(seed * 0x51ed_2701);
         let mut it = Interner::new();
-        let store = random_store(&mut rng, &mut it);
+        let mut store = random_store(&mut rng, &mut it);
         let text = random_group_query_text(&mut rng);
         let query = parse_query(&text, &mut it).unwrap_or_else(|e| {
             panic!("seed {seed}: generated query failed to parse: {e}\n{text}")
@@ -614,6 +677,18 @@ fn property_indexed_equals_linear_on_random_group_queries() {
         );
         // Rewriting is deterministic per query.
         assert_eq!(indexed, IndexedRewriter::new(&store).rewrite_query(&query));
+        // Dense dispatch must serve the same answers — complex rules (and
+        // their pooled guard/filter templates) included, no silent
+        // divergence between the frozen pools and the hash fallback.
+        assert!(
+            store.build_dense_index(it.symbol_bound()),
+            "seed {seed}: dense index unexpectedly declined"
+        );
+        assert_eq!(
+            indexed,
+            IndexedRewriter::new(&store).rewrite_query(&query),
+            "seed {seed}: dense and hash dispatch disagree"
+        );
     }
 }
 
