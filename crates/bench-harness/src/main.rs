@@ -15,8 +15,9 @@
 //! Every config has a stable slash-separated name (`rewrite/flat/indexed/
 //! 10k/8p`, `end_to_end/group/10k`, `end_to_end/cached/zipf/10k`,
 //! `thread_scaling`, `end_to_end/threads`, `federation/soak`,
-//! `federation/http_soak`); `--filter <substring>` reruns just the
-//! matching sections without the full grid.
+//! `federation/http_soak`, `server/chaos_soak`, `server/cached/zipf`);
+//! `--filter <substring>` reruns just the matching sections without the
+//! full grid.
 //!
 //! The `end_to_end/cached/*` configs serve a Zipfian(1.0) request stream —
 //! each logical query re-sent under rotating whitespace / PREFIX-alias
@@ -50,11 +51,25 @@
 //! identical-seed runs, converged breakers, the deadline ceiling, every
 //! enabled fault class observed, and partition-cache hits on the Zipfian
 //! stream.
+//!
+//! The `server/chaos_soak` leg turns the chaos around: a seeded
+//! *client-side* adversary (nine fault classes — half-open connects,
+//! trickled headers, aborted bodies, lying Content-Length, oversized
+//! frames) drives the live `sparql-rewrite-server` HTTP front end over
+//! loopback, twice with identical seeds. Gated: zero worker panics,
+//! byte-identical outcome transcripts and server counters, every fault
+//! class fired, a bounded O(1) shed path under wedged workers, and drain
+//! completion inside the documented bound. The companion
+//! `server/cached/zipf` leg streams healthy keep-alive traffic through a
+//! workload-tuned cache and gates zero steady-state allocations per
+//! request across the whole process — socket path included.
 
 mod bench;
+mod chaos_client;
 mod engine;
 mod json;
 mod parallel;
+mod server_soak;
 mod workload;
 
 use std::sync::Arc;
@@ -298,6 +313,12 @@ struct CachedResult {
     oversize_bypasses: u64,
     /// Heap allocations per serve at steady state (hit path dominated).
     allocs_per_serve: f64,
+    /// End-of-run cache observability (zeros when the cache is off):
+    /// occupied slots, total slots, probe-level evictions and hit ratio.
+    cache_occupancy: u64,
+    cache_capacity: u64,
+    cache_evictions: u64,
+    cache_hit_ratio: f64,
     stats: Stats,
 }
 
@@ -402,6 +423,7 @@ fn run_cached_config(
 
     let ns_per_request = stats.median_ns / requests.len() as f64;
     let cold_ns_per_request = cold_stats.median_ns / requests.len() as f64;
+    let cache_stats = cached_engine.cache_stats();
     CachedResult {
         name,
         n_rules,
@@ -418,6 +440,10 @@ fn run_cached_config(
         hit_rate,
         oversize_bypasses: cached_engine.cache_bypasses(),
         allocs_per_serve,
+        cache_occupancy: cache_stats.as_ref().map_or(0, |c| c.occupancy() as u64),
+        cache_capacity: cache_stats.as_ref().map_or(0, |c| c.capacity() as u64),
+        cache_evictions: cache_stats.as_ref().map_or(0, |c| c.evictions()),
+        cache_hit_ratio: cache_stats.as_ref().map_or(0.0, |c| c.hit_ratio()),
         stats,
     }
 }
@@ -1305,6 +1331,56 @@ fn main() {
     } else {
         None
     };
+    let server_soak = if selected("server/chaos_soak") {
+        eprintln!(
+            "server chaos soak (live loopback front end, 9 client fault classes, \
+             x2 runs + shed/drain phase):"
+        );
+        let s = server_soak::run_server_chaos_soak(quick);
+        eprintln!(
+            "  {:>4} conns, {:>4} attempts -> served {:>4}  errors {:>4}  idle_closes {:>4}  \
+             ({:.0} attempts/sec)",
+            s.n_connections,
+            s.requests_attempted,
+            s.served,
+            s.errors_total,
+            s.idle_closes,
+            s.attempts_per_sec,
+        );
+        eprintln!(
+            "  deterministic={} all_faults_injected={} panics={} | shed {} (p99 {:.1}ms, \
+             well_formed={}) dropped {} drain {:.0}ms within_bound={}",
+            s.deterministic,
+            s.all_faults_injected,
+            s.panics,
+            s.shed,
+            s.shed_p99_ms,
+            s.sheds_well_formed,
+            s.dropped_from_queue,
+            s.drain_elapsed_ms,
+            s.drain_within_bound,
+        );
+        Some(s)
+    } else {
+        None
+    };
+    let server_cached = if selected("server/cached") {
+        eprintln!("server cached hit path (1 worker, keep-alive socket, tuned cache):");
+        let c = server_soak::run_server_cached_config(quick);
+        eprintln!(
+            "  {:>28} {:>12.0} ns/req {:>14.0} req/sec  allocs/req {:.2}  hit_rate {:.3}  \
+             value_cap {}",
+            c.name,
+            c.ns_per_request,
+            c.requests_per_sec,
+            c.allocs_per_request,
+            c.measured_hit_rate,
+            c.value_cap,
+        );
+        Some(c)
+    } else {
+        None
+    };
 
     let max_allocs = results
         .iter()
@@ -1407,6 +1483,10 @@ fn main() {
             .num("hit_rate", r.hit_rate)
             .int("oversize_bypasses", r.oversize_bypasses)
             .num("allocs_per_serve", r.allocs_per_serve)
+            .int("cache_occupancy", r.cache_occupancy)
+            .int("cache_capacity", r.cache_capacity)
+            .int("cache_evictions", r.cache_evictions)
+            .num("cache_hit_ratio", r.cache_hit_ratio)
             .num("sample_mean_ns", r.stats.mean_ns)
             .num("sample_stddev_ns", r.stats.stddev_ns)
             .int("samples", r.stats.samples_ns.len() as u64)
@@ -1571,6 +1651,58 @@ fn main() {
             .int("all_faults_injected", u64::from(h.all_faults_injected))
             .int("panicked", u64::from(h.panicked));
         root.raw("federation_http", &o.finish());
+    }
+    if let Some(s) = &server_soak {
+        let mut inj = JsonObject::new();
+        for (class, n) in chaos_client::ClientFault::ALL.iter().zip(s.injected) {
+            inj.int(class.name(), n);
+        }
+        let mut classes = JsonObject::new();
+        for (label, n) in sparql_rewrite_server::request::RequestError::labels()
+            .iter()
+            .zip(s.error_classes)
+        {
+            classes.int(label, n);
+        }
+        let mut o = JsonObject::new();
+        o.str("name", &s.name)
+            .int("n_connections", s.n_connections as u64)
+            .int("requests_attempted", s.requests_attempted)
+            .int("served", s.served)
+            .int("idle_closes", s.idle_closes)
+            .int("errors_total", s.errors_total)
+            .raw("error_classes", &classes.finish())
+            .raw("injected_faults", &inj.finish())
+            .num("attempts_per_sec", s.attempts_per_sec)
+            .int("deterministic", u64::from(s.deterministic))
+            .int("all_faults_injected", u64::from(s.all_faults_injected))
+            .int("panics", s.panics)
+            .int("shed", s.shed)
+            .int("sheds_well_formed", u64::from(s.sheds_well_formed))
+            .num("shed_p99_ms", s.shed_p99_ms)
+            .int("dropped_from_queue", s.dropped_from_queue as u64)
+            .num("drain_elapsed_ms", s.drain_elapsed_ms)
+            .int("drain_within_bound", u64::from(s.drain_within_bound));
+        root.raw("server_soak", &o.finish());
+    }
+    if let Some(c) = &server_cached {
+        let mut o = JsonObject::new();
+        o.str("name", &c.name)
+            .int("rules", c.n_rules as u64)
+            .int("n_distinct", c.n_distinct as u64)
+            .int("n_requests", c.n_requests as u64)
+            .num("ns_per_request", c.ns_per_request)
+            .num("requests_per_sec", c.requests_per_sec)
+            .num("allocs_per_request", c.allocs_per_request)
+            .int("served_all", u64::from(c.served_all))
+            .num("measured_hit_rate", c.measured_hit_rate)
+            .int("cache_occupancy", c.cache_occupancy)
+            .int("cache_capacity", c.cache_capacity)
+            .int("cache_evictions", c.cache_evictions)
+            .num("cache_hit_ratio", c.cache_hit_ratio)
+            .int("oversize_bypasses", c.oversize_bypasses)
+            .int("value_cap_bytes", c.value_cap);
+        root.raw("server_cached", &o.finish());
     }
     root.raw("summary", &summary.finish());
     let doc = root.finish();
@@ -1772,6 +1904,92 @@ fn main() {
                 "partition cache saw no hits on a Zipfian stream — per-endpoint caching is dead"
                     .to_string(),
             );
+        }
+    }
+    // Server chaos soak gates: the front end's overload/degradation
+    // contract, proven against a live loopback server. Each failure means
+    // a robustness property regressed — a worker panic escaped isolation,
+    // identically seeded adversaries produced different outcomes, a fault
+    // class silently stopped firing, the shed path waited on workers, or
+    // graceful shutdown overran its documented bound.
+    if let Some(s) = &server_soak {
+        if s.panics > 0 {
+            failures.push(format!(
+                "server chaos soak caught {} worker panic(s) — malformed input reached a panic",
+                s.panics
+            ));
+        }
+        if !s.deterministic {
+            failures.push(
+                "server soak transcripts or counters diverged across identical-seed runs"
+                    .to_string(),
+            );
+        }
+        if !s.all_faults_injected {
+            failures.push(
+                "a client chaos fault class was never injected — coverage silently shrank"
+                    .to_string(),
+            );
+        }
+        if s.served == 0 {
+            failures.push("server soak served nothing — the front end is broken".to_string());
+        }
+        if s.errors_total == 0 {
+            failures.push(
+                "server soak saw no structured errors — chaos injection is not degrading"
+                    .to_string(),
+            );
+        }
+        if s.shed != 8 || !s.sheds_well_formed {
+            failures.push(format!(
+                "overload shed {} of 8 probes well_formed={} — admission control regressed",
+                s.shed, s.sheds_well_formed
+            ));
+        }
+        if s.shed_p99_ms > 250.0 {
+            failures.push(format!(
+                "shed-path p99 {:.1}ms > 250ms — the 503 path is waiting on workers",
+                s.shed_p99_ms
+            ));
+        }
+        if s.dropped_from_queue != 4 {
+            failures.push(format!(
+                "drain refused {} queued connections, expected exactly the 4 parked fillers",
+                s.dropped_from_queue
+            ));
+        }
+        if !s.drain_within_bound {
+            failures.push(format!(
+                "graceful drain took {:.0}ms — outside request_deadline + drain_deadline",
+                s.drain_elapsed_ms
+            ));
+        }
+    }
+    // Server cached hit path: the whole-process zero-allocation gate (the
+    // acceptance criterion: cached hits serve through the socket without a
+    // single steady-state heap allocation), plus hit-rate sanity.
+    if let Some(c) = &server_cached {
+        if c.allocs_per_request > 0.0 {
+            failures.push(format!(
+                "server socket path allocated ({:.4} allocs/request, expected 0 across \
+                 client write, server parse/serve/render, client read)",
+                c.allocs_per_request
+            ));
+        }
+        if !c.served_all {
+            failures.push("a healthy cached request was not answered 200".to_string());
+        }
+        if c.measured_hit_rate < 0.9 {
+            failures.push(format!(
+                "server cached hit rate {:.3} < 0.9 over the measured window",
+                c.measured_hit_rate
+            ));
+        }
+        if c.oversize_bypasses > 0 {
+            failures.push(format!(
+                "{} oversize cache bypasses under a workload-tuned value cap",
+                c.oversize_bypasses
+            ));
         }
     }
     if !failures.is_empty() {

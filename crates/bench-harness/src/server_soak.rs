@@ -1,0 +1,487 @@
+//! Server-side robustness legs: the `server/chaos_soak` config (seeded
+//! chaos client vs the live HTTP front end, run twice and gated on
+//! byte-identical outcome transcripts) and the `server/cached/zipf`
+//! config (healthy keep-alive traffic through the socket, gated on zero
+//! steady-state allocations per request under the counting allocator).
+//!
+//! Three phases:
+//!
+//! 1. **Chaos** — a fresh server + [`ChaosClient`] schedule, twice with
+//!    the same seed. Gates: zero worker panics, transcripts and fault
+//!    schedules byte-identical, every fault class observed, structured
+//!    degradation observed (some errors, some serves).
+//! 2. **Shed/drain** — workers wedged by slow-loris blockers, queue
+//!    packed by silent fillers, then probes that must all be refused
+//!    with an O(1) `503` under a p99 bound; shutdown must refuse exactly
+//!    the parked fillers and finish inside the documented drain bound.
+//! 3. **Cached hit path** — one keep-alive connection streams a Zipfian
+//!    request mix (pre-rendered bytes, hand-rolled allocation-free
+//!    response reader) through a [`ServeEngine::with_tuned_cache`]
+//!    server; the allocation counter must not move.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sparql_rewrite_core::counting_alloc::allocation_count;
+use sparql_rewrite_core::httpcore::{read_response, HttpLimits};
+use sparql_rewrite_core::{CacheConfig, Interner, ServeEngine};
+use sparql_rewrite_server::request::ERROR_CLASSES;
+use sparql_rewrite_server::{Server, ServerConfig, StatsSnapshot};
+
+use crate::chaos_client::{render_get, ChaosClient, N_FAULTS};
+use crate::workload::{
+    alias_prefix, generate, perturb_whitespace, zipf_ranks, ComplexShape, Rng, WorkloadSpec,
+    ZipfSpec,
+};
+
+/// Outcome of the server chaos soak (phases 1 and 2).
+pub struct ServerSoak {
+    pub name: String,
+    pub n_connections: usize,
+    /// Request attempts per run (transcript lines).
+    pub requests_attempted: u64,
+    pub served: u64,
+    pub idle_closes: u64,
+    pub errors_total: u64,
+    /// Per-error-class counts from run 1
+    /// ([`sparql_rewrite_server::request::RequestError`] order).
+    pub error_classes: [u64; ERROR_CLASSES],
+    /// Client-side fault injections, [`ClientFault::ALL`] order.
+    ///
+    /// [`ClientFault::ALL`]: crate::chaos_client::ClientFault::ALL
+    pub injected: [u64; N_FAULTS],
+    pub attempts_per_sec: f64,
+    /// Transcripts, fault schedules, and server counters byte-identical
+    /// across the two identical-seed runs.
+    pub deterministic: bool,
+    pub all_faults_injected: bool,
+    /// Worker panics summed over both runs (gated to zero).
+    pub panics: u64,
+    // ---- shed/drain phase ----
+    pub shed: u64,
+    pub sheds_well_formed: bool,
+    pub shed_p99_ms: f64,
+    pub dropped_from_queue: usize,
+    pub drain_elapsed_ms: f64,
+    pub drain_within_bound: bool,
+}
+
+/// Chaos phase: run the full seeded schedule against a fresh server and
+/// return everything the determinism compare needs.
+fn chaos_run(
+    spec: &WorkloadSpec,
+    n_connections: usize,
+    seed: u64,
+) -> (String, [u64; N_FAULTS], u64, StatsSnapshot) {
+    let mut w = generate(spec);
+    let queries = w.query_texts();
+    let engine = Arc::new(ServeEngine::with_cache(
+        std::mem::take(&mut w.store),
+        std::mem::replace(&mut w.interner, Interner::new()),
+        Some(CacheConfig::default()),
+    ));
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        request_deadline: Duration::from_secs(2),
+        keep_alive_idle: Duration::from_secs(2),
+        drain_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let limits = config.limits;
+    let server = Server::spawn(engine, config, "127.0.0.1:0").expect("soak server binds loopback");
+    let mut client = ChaosClient::new(server.local_addr(), seed, limits);
+    let mut transcript = String::new();
+    let mut attempts = 0u64;
+    for conn in 0..n_connections {
+        attempts += client.run_connection(conn as u64, &queries, &mut transcript);
+    }
+    let stats = server.stats();
+    server.shutdown();
+    (transcript, client.injected, attempts, stats)
+}
+
+/// Shed/drain phase observations.
+struct ShedDrain {
+    shed: u64,
+    sheds_well_formed: bool,
+    shed_p99_ms: f64,
+    dropped_from_queue: usize,
+    drain_elapsed_ms: f64,
+    drain_within_bound: bool,
+}
+
+/// Wedge every worker with a slow-loris blocker, pack the queue with
+/// silent fillers, then fire probes that must all shed fast; finally
+/// shut down and check the drain contract refuses exactly the fillers.
+fn shed_drain_phase(spec: &WorkloadSpec) -> ShedDrain {
+    const WORKERS: usize = 2;
+    const FILLERS: usize = 4;
+    const PROBES: usize = 8;
+    let mut w = generate(spec);
+    let engine = Arc::new(ServeEngine::with_cache(
+        std::mem::take(&mut w.store),
+        std::mem::replace(&mut w.interner, Interner::new()),
+        None,
+    ));
+    let config = ServerConfig {
+        workers: WORKERS,
+        queue_capacity: FILLERS,
+        request_deadline: Duration::from_millis(800),
+        keep_alive_idle: Duration::from_millis(800),
+        drain_deadline: Duration::from_millis(250),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn(engine, config, "127.0.0.1:0").expect("shed server binds loopback");
+    let addr = server.local_addr();
+
+    // Blockers: hold every worker mid-request (the request deadline keeps
+    // them wedged far longer than the probe sequence takes).
+    let blockers: Vec<TcpStream> = (0..WORKERS)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).expect("blocker connect");
+            s.write_all(b"POST /spar").expect("blocker partial write");
+            s
+        })
+        .collect();
+    let t0 = Instant::now();
+    while server.stats().in_flight < WORKERS {
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "workers never picked up blockers"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Fillers: park in the admission queue without sending a byte.
+    let fillers: Vec<TcpStream> = (0..FILLERS)
+        .map(|_| TcpStream::connect(addr).expect("filler connect"))
+        .collect();
+    while server.stats().queue_depth < FILLERS {
+        assert!(t0.elapsed() < Duration::from_secs(2), "queue never filled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Probes: each must be refused with the prebuilt 503 + Retry-After,
+    // without waiting on any worker.
+    let mut sheds_well_formed = true;
+    let mut latencies = Vec::with_capacity(PROBES);
+    for _ in 0..PROBES {
+        let start = Instant::now();
+        let probe = TcpStream::connect(addr).expect("probe connect");
+        let _ = probe.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut r = std::io::BufReader::new(probe);
+        match read_response(&mut r, &HttpLimits::default()) {
+            Ok(resp) => {
+                sheds_well_formed &=
+                    resp.status == 503 && resp.close && resp.body == b"overloaded\n"
+            }
+            Err(_) => sheds_well_formed = false,
+        }
+        latencies.push(start.elapsed());
+    }
+    latencies.sort();
+    // p99 over 8 samples is the max — the bound is on the worst probe.
+    let shed_p99_ms = latencies.last().map_or(f64::NAN, |d| d.as_secs_f64() * 1e3);
+
+    let shed = server.stats().shed;
+    let report = server.shutdown();
+    drop(blockers);
+    drop(fillers);
+    ShedDrain {
+        shed,
+        sheds_well_formed,
+        shed_p99_ms,
+        dropped_from_queue: report.dropped_from_queue,
+        drain_elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+        drain_within_bound: report.within_bound(Duration::from_millis(500)),
+    }
+}
+
+/// The `server/chaos_soak` leg: phases 1 (chaos, twice) and 2
+/// (shed/drain) against live loopback servers.
+pub fn run_server_chaos_soak(quick: bool) -> ServerSoak {
+    let spec = WorkloadSpec {
+        n_rules: if quick { 512 } else { 2_000 },
+        patterns_per_query: 6,
+        n_queries: 24,
+        seed: 0xc1a0_5eed,
+        group_shapes: false,
+        complex: ComplexShape::None,
+    };
+    let n_connections = if quick { 48 } else { 160 };
+    let seed = 0x5eed_0fa0_17c1_a55e;
+
+    let start = Instant::now();
+    let first = std::panic::catch_unwind(|| chaos_run(&spec, n_connections, seed));
+    let second = std::panic::catch_unwind(|| chaos_run(&spec, n_connections, seed));
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let (deterministic, injected, attempts, stats, panics, harness_panic) = match (&first, &second)
+    {
+        (Ok(a), Ok(b)) => {
+            let (ta, ia, aa, sa) = a;
+            let (tb, ib, ab, sb) = b;
+            let same = ta == tb
+                && ia == ib
+                && aa == ab
+                && sa.accepted == sb.accepted
+                && sa.served == sb.served
+                && sa.shed == sb.shed
+                && sa.idle_closes == sb.idle_closes
+                && sa.error_classes == sb.error_classes;
+            (same, *ia, *aa, sa.clone(), sa.panics + sb.panics, false)
+        }
+        _ => (false, [0; N_FAULTS], 0, StatsSnapshot::default(), 0, true),
+    };
+    let all_faults_injected = injected.iter().all(|&n| n > 0);
+
+    let shed = shed_drain_phase(&spec);
+    ServerSoak {
+        name: "server/chaos_soak/2w/9faults".to_string(),
+        n_connections,
+        requests_attempted: attempts,
+        served: stats.served,
+        idle_closes: stats.idle_closes,
+        errors_total: stats.errors_total(),
+        error_classes: stats.error_classes,
+        injected,
+        attempts_per_sec: (2 * attempts) as f64 / elapsed,
+        deterministic,
+        all_faults_injected,
+        // A panic that escapes `chaos_run` itself (client-side) is
+        // folded into the panic gate alongside caught worker panics.
+        panics: panics + u64::from(harness_panic),
+        shed: shed.shed,
+        sheds_well_formed: shed.sheds_well_formed,
+        shed_p99_ms: shed.shed_p99_ms,
+        dropped_from_queue: shed.dropped_from_queue,
+        drain_elapsed_ms: shed.drain_elapsed_ms,
+        drain_within_bound: shed.drain_within_bound,
+    }
+}
+
+/// Outcome of the healthy-traffic cached socket config (phase 3).
+pub struct ServerCachedResult {
+    pub name: String,
+    pub n_rules: usize,
+    pub n_distinct: usize,
+    pub n_requests: usize,
+    pub ns_per_request: f64,
+    pub requests_per_sec: f64,
+    /// Heap allocations per request across the *whole process* (client
+    /// write, server parse/serve/render, client read) at steady state.
+    pub allocs_per_request: f64,
+    /// Every measured request answered `200`.
+    pub served_all: bool,
+    /// Probe-level cache hit rate over the measured window only.
+    pub measured_hit_rate: f64,
+    pub cache_occupancy: u64,
+    pub cache_capacity: u64,
+    pub cache_evictions: u64,
+    pub cache_hit_ratio: f64,
+    pub oversize_bypasses: u64,
+    /// Workload-tuned value cap the engine picked.
+    pub value_cap: u64,
+}
+
+/// Allocation-free response reader: preallocated accumulation buffer, a
+/// stack scratch for reads, manual status/Content-Length scan. After the
+/// warm pass it never allocates.
+struct PinnedReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl PinnedReader {
+    fn new(stream: TcpStream) -> PinnedReader {
+        PinnedReader {
+            stream,
+            buf: Vec::with_capacity(64 * 1024),
+        }
+    }
+
+    /// Read exactly one response off the keep-alive stream; returns its
+    /// status code.
+    fn read_one(&mut self) -> io::Result<u16> {
+        loop {
+            if let Some(h_end) = find_double_crlf(&self.buf) {
+                let status = parse_status(&self.buf)?;
+                let total = h_end + 4 + content_length(&self.buf[..h_end + 2]);
+                while self.buf.len() < total {
+                    self.fill()?;
+                }
+                self.buf.drain(..total);
+                return Ok(status);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut scratch = [0u8; 4096];
+        let n = self.stream.read(&mut scratch)?;
+        if n == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        self.buf.extend_from_slice(&scratch[..n]);
+        Ok(())
+    }
+}
+
+fn find_double_crlf(b: &[u8]) -> Option<usize> {
+    b.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_status(b: &[u8]) -> io::Result<u16> {
+    // b"HTTP/1.1 NNN ..." — the server always emits this shape.
+    if b.len() < 12 || !b.starts_with(b"HTTP/1.") {
+        return Err(io::ErrorKind::InvalidData.into());
+    }
+    let d = &b[9..12];
+    if !d.iter().all(u8::is_ascii_digit) {
+        return Err(io::ErrorKind::InvalidData.into());
+    }
+    Ok(d.iter().fold(0u16, |acc, &c| acc * 10 + (c - b'0') as u16))
+}
+
+fn content_length(headers: &[u8]) -> usize {
+    for line in headers.split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.len() > 15 && line[..15].eq_ignore_ascii_case(b"content-length:") {
+            return line[15..]
+                .iter()
+                .filter(|c| c.is_ascii_digit())
+                .fold(0usize, |acc, &c| acc * 10 + (c - b'0') as usize);
+        }
+    }
+    0
+}
+
+/// The `server/cached/zipf` leg: a single-worker server fronting a
+/// workload-tuned cache, driven by one keep-alive connection replaying a
+/// Zipfian stream of re-spelled repeats from pre-rendered request bytes.
+/// The measured window must not allocate anywhere in the process.
+pub fn run_server_cached_config(quick: bool) -> ServerCachedResult {
+    let n_rules = 1_000;
+    let spec = WorkloadSpec {
+        n_rules,
+        patterns_per_query: 8,
+        n_queries: 64,
+        seed: 0x5e12_ed0c_ac4e,
+        group_shapes: false,
+        complex: ComplexShape::None,
+    };
+    let mut w = generate(&spec);
+    let distinct = w.query_texts();
+    let engine = Arc::new(ServeEngine::with_tuned_cache(
+        std::mem::take(&mut w.store),
+        std::mem::replace(&mut w.interner, Interner::new()),
+        CacheConfig::default(),
+        &distinct,
+    ));
+    let value_cap = engine.cache_value_cap().unwrap_or(0) as u64;
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        request_deadline: Duration::from_secs(2),
+        keep_alive_idle: Duration::from_secs(10),
+        drain_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn(Arc::clone(&engine), config, "127.0.0.1:0")
+        .expect("cached server binds loopback");
+
+    // Three spellings per logical query, pre-rendered to raw request
+    // bytes so the measured loop only writes and reads.
+    let mut rng = Rng::new(spec.seed ^ 0x77);
+    let rendered: Vec<[Vec<u8>; 3]> = distinct
+        .iter()
+        .map(|t| {
+            let spellings = [
+                t.clone(),
+                perturb_whitespace(t, &mut rng),
+                alias_prefix(t, "s", "http://src.example.org/onto/"),
+            ];
+            spellings.map(|s| {
+                let mut req = Vec::new();
+                render_get(&s, &mut req);
+                req
+            })
+        })
+        .collect();
+    let n_requests = if quick { 512 } else { 4_096 };
+    let ranks = zipf_ranks(&ZipfSpec {
+        s: 1.0,
+        n_distinct: distinct.len(),
+        n_requests,
+        seed: spec.seed ^ 0x21bf_5eed,
+    });
+
+    let stream = TcpStream::connect(server.local_addr()).expect("client connect");
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut writer = stream.try_clone().expect("stream clone");
+    let mut reader = PinnedReader::new(stream);
+
+    // Warm pass: every spelling once (populates the cache and grows every
+    // buffer on both sides of the socket), then one full stream replay
+    // (warms the drain/extend patterns at measured-loop sizes).
+    for spellings in &rendered {
+        for req in spellings {
+            writer.write_all(req).expect("warm write");
+            reader.read_one().expect("warm response");
+        }
+    }
+    for (i, &rank) in ranks.iter().enumerate() {
+        writer
+            .write_all(&rendered[rank as usize][i % 3])
+            .expect("warm write");
+        reader.read_one().expect("warm response");
+    }
+
+    // Measured window: the whole process (this thread writing/reading,
+    // the worker thread parsing/serving/rendering) must not allocate.
+    let stats_before = engine.cache_stats().expect("cache installed");
+    let before = allocation_count();
+    let t = Instant::now();
+    let mut served_all = true;
+    for (i, &rank) in ranks.iter().enumerate() {
+        writer
+            .write_all(&rendered[rank as usize][i % 3])
+            .expect("measured write");
+        served_all &= reader.read_one().expect("measured response") == 200;
+    }
+    let elapsed = t.elapsed();
+    let allocs = allocation_count() - before;
+    let stats_after = engine.cache_stats().expect("cache installed");
+
+    drop(writer);
+    drop(reader);
+    server.shutdown();
+
+    let d_hits = stats_after.hits() - stats_before.hits();
+    let d_misses = stats_after.misses() - stats_before.misses();
+    let ns_per_request = elapsed.as_nanos() as f64 / n_requests as f64;
+    ServerCachedResult {
+        name: format!("server/cached/zipf/{}", crate::fmt_rules(n_rules)),
+        n_rules,
+        n_distinct: distinct.len(),
+        n_requests,
+        ns_per_request,
+        requests_per_sec: 1e9 / ns_per_request,
+        allocs_per_request: allocs as f64 / n_requests as f64,
+        served_all,
+        measured_hit_rate: if d_hits + d_misses > 0 {
+            d_hits as f64 / (d_hits + d_misses) as f64
+        } else {
+            0.0
+        },
+        cache_occupancy: stats_after.occupancy() as u64,
+        cache_capacity: stats_after.capacity() as u64,
+        cache_evictions: stats_after.evictions(),
+        cache_hit_ratio: stats_after.hit_ratio(),
+        oversize_bypasses: engine.cache_bypasses(),
+        value_cap,
+    }
+}

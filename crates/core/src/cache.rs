@@ -675,6 +675,86 @@ struct Shard {
     /// from caching, so the bypass rate is an observability signal, not
     /// noise — surfaced via [`RewriteCache::oversize_bypasses`].
     bypassed: AtomicU64,
+    /// Probe-level hit/miss counters (one lookup = one count; the serve
+    /// engine's two-level raw→canonical keying therefore books a
+    /// canonical hit as one miss *and* one hit — see [`CacheStats`]).
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Live entries overwritten by an insert for a *different* key —
+    /// capacity pressure made visible (refreshes of the same key are not
+    /// evictions).
+    evictions: AtomicU64,
+}
+
+/// Point-in-time observability snapshot of one shard, taken by
+/// [`RewriteCache::stats`].
+#[derive(Copy, Clone, Default, Debug)]
+pub struct ShardCacheStats {
+    /// Slots holding a written entry (never decreases: slots are
+    /// overwritten, not emptied).
+    pub occupancy: usize,
+    /// Total slots in the shard.
+    pub slots: usize,
+    /// Probe-level lookup hits/misses (see [`CacheStats::hit_ratio`] for
+    /// the caveat on two-level keying).
+    pub hits: u64,
+    pub misses: u64,
+    /// Live entries overwritten by an insert under a different key.
+    pub evictions: u64,
+    /// Inserts refused because the value exceeded the cache's value cap.
+    pub oversize_bypasses: u64,
+}
+
+/// Aggregated cache observability: per-shard occupancy, eviction, and
+/// hit/miss counters, snapshotted without stopping traffic (counters are
+/// relaxed atomics; occupancy is a racy-but-monotone scan).
+///
+/// Hit/miss counters are **probe-level**: every [`RewriteCache::lookup`]
+/// books exactly one hit or miss. A caller probing the same cache under
+/// two keys per request (the serve engine's raw→canonical levels) will
+/// therefore see a lower probe hit ratio than its request-level hit rate
+/// — both are real signals, they answer different questions.
+#[derive(Clone, Default, Debug)]
+pub struct CacheStats {
+    pub per_shard: Vec<ShardCacheStats>,
+}
+
+impl CacheStats {
+    /// Written slots across all shards.
+    pub fn occupancy(&self) -> usize {
+        self.per_shard.iter().map(|s| s.occupancy).sum()
+    }
+
+    /// Total slot capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.per_shard.iter().map(|s| s.slots).sum()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.hits).sum()
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.misses).sum()
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.evictions).sum()
+    }
+
+    pub fn oversize_bypasses(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.oversize_bypasses).sum()
+    }
+
+    /// Probe-level hit ratio in `[0, 1]`; 0.0 before any lookup.
+    pub fn hit_ratio(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
 }
 
 /// Sharded, read-lock-free map from [`QueryFingerprint`] to rendered
@@ -707,6 +787,9 @@ impl RewriteCache {
                     .map(|_| AtomicU64::new(0))
                     .collect(),
                 bypassed: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
             })
             .collect();
         RewriteCache {
@@ -738,6 +821,30 @@ impl RewriteCache {
             .sum()
     }
 
+    /// Snapshot per-shard observability: occupancy, probe-level hit/miss
+    /// counters, evictions, and oversize bypasses. The occupancy scan
+    /// walks every slot (relaxed loads), so treat this as an operator
+    /// endpoint, not a hot-path call.
+    pub fn stats(&self) -> CacheStats {
+        let per_shard = self
+            .shards
+            .iter()
+            .map(|s| ShardCacheStats {
+                occupancy: s
+                    .slots
+                    .iter()
+                    .filter(|slot| slot.fp.load(Ordering::Relaxed) != 0)
+                    .count(),
+                slots: s.slots.len(),
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+                oversize_bypasses: s.bypassed.load(Ordering::Relaxed),
+            })
+            .collect();
+        CacheStats { per_shard }
+    }
+
     /// Shard for a fingerprint (high hash bits) and home slot within it
     /// (low hash bits) — distinct bit ranges so shard and slot selection
     /// stay uncorrelated.
@@ -767,6 +874,7 @@ impl RewriteCache {
             if sfp == 0 {
                 // Slots are never emptied once written, so a vacant slot
                 // terminates the probe: nothing was ever pushed past it.
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
             if v1 & 1 == 1
@@ -799,12 +907,15 @@ impl RewriteCache {
             fence(Ordering::Acquire);
             if slot.version.load(Ordering::Relaxed) == v1 {
                 slot.refbit.store(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
             // Torn copy (entry was overwritten mid-read): treat as a miss —
             // the cold path will re-render and refresh the entry.
+            shard.misses.fetch_add(1, Ordering::Relaxed);
             return false;
         }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         false
     }
 
@@ -864,6 +975,13 @@ impl RewriteCache {
         });
 
         let slot = &shard.slots[idx];
+        let prev_fp = slot.fp.load(Ordering::Relaxed);
+        if prev_fp != 0 && prev_fp != fp.hash {
+            // Overwriting a live entry for a different key: capacity (or
+            // staleness) pushed something out. Same-key refreshes are not
+            // evictions.
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         let v = slot.version.load(Ordering::Relaxed);
         // Seqlock write: odd version first, then data, then even version.
         slot.version.store(v.wrapping_add(1), Ordering::Relaxed);
@@ -1090,6 +1208,48 @@ mod tests {
             assert!(cache.lookup(k, 0, &mut buf), "just-inserted {i} missing");
             assert_eq!(buf, val.as_bytes());
         }
+    }
+
+    #[test]
+    fn stats_track_occupancy_hits_misses_and_evictions() {
+        let cache = RewriteCache::new(CacheConfig {
+            shards: 1,
+            slots_per_shard: 8,
+            value_cap: 64,
+        });
+        let mut buf = Vec::new();
+        let s0 = cache.stats();
+        assert_eq!((s0.occupancy(), s0.capacity()), (0, 8));
+        assert_eq!((s0.hits(), s0.misses(), s0.evictions()), (0, 0, 0));
+        assert_eq!(s0.hit_ratio(), 0.0);
+
+        let k = fp("SELECT * WHERE { ?s <http://p0> ?o }");
+        assert!(!cache.lookup(k, 0, &mut buf)); // miss
+        cache.insert(k, 0, b"v0");
+        assert!(cache.lookup(k, 0, &mut buf)); // hit
+        let s1 = cache.stats();
+        assert_eq!((s1.occupancy(), s1.hits(), s1.misses()), (1, 1, 1));
+        assert!((s1.hit_ratio() - 0.5).abs() < 1e-9);
+        // Refreshing the same key is not an eviction.
+        cache.insert(k, 0, b"v0b");
+        assert_eq!(cache.stats().evictions(), 0);
+
+        // Churn far past the 8-slot capacity: evictions must be counted
+        // and occupancy saturates at capacity.
+        for i in 0..64 {
+            let text = format!("SELECT * WHERE {{ ?s <http://p{i}> ?o }}");
+            cache.insert(fp(&text), 0, b"x");
+        }
+        let s2 = cache.stats();
+        assert!(
+            s2.evictions() > 0,
+            "64 inserts into 8 slots evicted nothing"
+        );
+        assert!(s2.occupancy() <= s2.capacity());
+        assert!(s2.occupancy() > 1);
+        // Oversize bypasses are surfaced through the same snapshot.
+        cache.insert(fp("SELECT * WHERE { ?s <http://big> ?o }"), 0, &[b'x'; 65]);
+        assert_eq!(cache.stats().oversize_bypasses(), 1);
     }
 
     #[test]

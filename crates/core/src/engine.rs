@@ -1,0 +1,340 @@
+//! End-to-end serve engine: the full **parse → rewrite → render** request
+//! pipeline over one shared, frozen rule set, fronted by the sharded
+//! rewrite-result cache.
+//!
+//! This is the request-path shape the ROADMAP's north star asks for —
+//! "queries/sec served" as a first-class number, not just rewrite
+//! throughput. Per request the engine:
+//!
+//! 0. canonicalizes the request text into a [`QueryFingerprint`]
+//!    (single-pass, ~100ns) and probes the shared [`RewriteCache`] — a hit
+//!    copies the previously rendered rewrite straight into the output
+//!    buffer and skips the pipeline entirely,
+//! 1. parses SPARQL text into a caller-owned [`ParseScratch`]
+//!    (worker-local interner — known strings resolve to their shared
+//!    symbols, novel strings get worker-private ids that can never alias a
+//!    rule symbol),
+//! 2. rewrites the borrowed parse via [`Rewriter::rewrite_ref_into`]
+//!    against the shared dense-indexed [`AlignmentStore`],
+//! 3. renders the rewritten query into a reusable output `String` and
+//!    fills the cache entry (stamped with the store's revision, so a
+//!    post-freeze rule load invalidates it like the dense tables).
+//!
+//! Every stage writes into reusable buffers, so a warm
+//! [`ServeEngine::serve`] call performs **zero heap allocations** on both
+//! the hit and the cold path — the bench harness gates on that, parser and
+//! cache probe included. The HTTP front end (`crates/server`) pins one
+//! [`ServeScratch`] per worker thread and shares one `ServeEngine` behind
+//! an `Arc`, so the same guarantee holds end to end through the socket
+//! path.
+//!
+//! [`QueryFingerprint`]: crate::cache::QueryFingerprint
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::{
+    fingerprint_query, fingerprint_raw, parse_query_into, render_query_into, AlignmentStore,
+    CacheConfig, CacheStats, IndexedRewriter, Interner, ParseError, ParseScratch, QueryRef,
+    RewriteCache, RewriteScratch, Rewriter,
+};
+
+/// Shared, read-only serve state: the dense-indexed rule set, the
+/// build-phase interner workers clone from, and (unless disabled) the
+/// shared rewrite-result cache.
+pub struct ServeEngine {
+    rewriter: IndexedRewriter<Arc<AlignmentStore>>,
+    /// Build-phase interner snapshot. Workers clone it so parsing can
+    /// intern novel strings without locks while every pre-existing symbol
+    /// stays identical to the rule set's.
+    base_interner: Interner,
+    /// Rewrite-result cache; `None` when constructed cache-less (the
+    /// harness's cold-pipeline configs and the `--no-cache` A/B runs).
+    cache: Option<RewriteCache>,
+    /// Rule-set revision the engine was frozen at — the generation tag for
+    /// every cache entry. The store behind the `Arc` is immutable here, so
+    /// one snapshot is exact; an engine rebuilt after `add_*` gets the new
+    /// revision and every old entry lazily misses.
+    revision: u64,
+}
+
+/// Per-worker reusable state for [`ServeEngine::serve`]. All steady-state
+/// buffers live here; the engine itself is never mutated.
+pub struct ServeScratch {
+    interner: Interner,
+    parse: ParseScratch,
+    rewrite: RewriteScratch,
+    fresh_base: String,
+    out: String,
+    /// Cache copy-out buffer (bytes are validated UTF-8 before use).
+    hit_buf: Vec<u8>,
+    /// Per-worker counters — on the scratch, not the engine, so hot-path
+    /// accounting never touches a shared cache line.
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl ServeScratch {
+    /// Cache hits recorded by this scratch since construction/reset.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Cache misses (cold serves while caching was enabled) recorded by
+    /// this scratch since construction/reset.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    pub fn reset_cache_counters(&mut self) {
+        self.cache_hits = 0;
+        self.cache_misses = 0;
+    }
+}
+
+impl ServeEngine {
+    /// Freeze `store` (building its dense dispatch tables against
+    /// `interner`'s symbol bound) and take a snapshot of the interner for
+    /// worker clones. `cache` sizes the rewrite-result cache
+    /// (`Some(CacheConfig::default())` for the production shape), or
+    /// `None` serves every request through the cold pipeline — the
+    /// `--no-cache` A/B path and the raw-pipeline bench configs.
+    pub fn with_cache(
+        mut store: AlignmentStore,
+        interner: Interner,
+        cache: Option<CacheConfig>,
+    ) -> ServeEngine {
+        store.build_dense_index(interner.symbol_bound());
+        let revision = store.revision();
+        ServeEngine {
+            rewriter: IndexedRewriter::new(Arc::new(store)),
+            base_interner: interner,
+            cache: cache.map(RewriteCache::new),
+            revision,
+        }
+    }
+
+    /// Like [`ServeEngine::with_cache`], but the cache's value cap is
+    /// **tuned from the workload** instead of taken from `config`: the
+    /// engine first serves `samples` through the cold pipeline, measures
+    /// the largest rendered rewrite, and installs the cache with that
+    /// length (clamped to `[64, 1 MiB]`) as the cap. A cap sized to the
+    /// workload means no live query is silently bypassed for being
+    /// oversized, while a pathological one-off can't make every shard's
+    /// value pool pay for it.
+    ///
+    /// Samples that fail to parse are skipped; if none parses, the cap
+    /// falls back to `config.value_cap` unchanged.
+    pub fn with_tuned_cache(
+        store: AlignmentStore,
+        interner: Interner,
+        mut config: CacheConfig,
+        samples: &[String],
+    ) -> ServeEngine {
+        let mut engine = ServeEngine::with_cache(store, interner, None);
+        let mut scratch = engine.scratch();
+        let mut max_len = 0usize;
+        for sample in samples {
+            if let Ok(out) = engine.serve(sample, &mut scratch) {
+                max_len = max_len.max(out.len());
+            }
+        }
+        if max_len > 0 {
+            config.value_cap = max_len.clamp(64, 1 << 20);
+        }
+        engine.cache = Some(RewriteCache::new(config));
+        engine
+    }
+
+    /// Inserts the shared cache refused because the rendered rewrite
+    /// exceeded its value cap — requests that re-render on every arrival no
+    /// matter how hot they are. Completes the hit/miss picture: `misses -
+    /// bypass-driven re-serves` is the true cold-start count. 0 when the
+    /// engine is cache-less.
+    pub fn cache_bypasses(&self) -> u64 {
+        self.cache
+            .as_ref()
+            .map_or(0, RewriteCache::oversize_bypasses)
+    }
+
+    /// Per-shard cache observability snapshot (occupancy, hits, misses,
+    /// evictions, oversize bypasses); `None` when the engine is
+    /// cache-less. Counter scan, not hot path — see
+    /// [`RewriteCache::stats`] for the probe-level semantics.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(RewriteCache::stats)
+    }
+
+    /// The installed cache's value-size cap in bytes (`None` cache-less).
+    /// Under [`ServeEngine::with_tuned_cache`] this is the measured
+    /// workload maximum, not the config default.
+    pub fn cache_value_cap(&self) -> Option<usize> {
+        self.cache.as_ref().map(RewriteCache::value_cap)
+    }
+
+    /// The dense-indexed rewriter — ground-truth access for equivalence
+    /// tests and offline (non-serve-path) rewriting.
+    pub fn rewriter(&self) -> &IndexedRewriter<Arc<AlignmentStore>> {
+        &self.rewriter
+    }
+
+    /// The build-phase interner snapshot workers clone from.
+    pub fn base_interner(&self) -> &Interner {
+        &self.base_interner
+    }
+
+    /// A fresh worker scratch. Cloning the interner is the one deliberate
+    /// startup cost; after it, the worker shares nothing mutable.
+    pub fn scratch(&self) -> ServeScratch {
+        ServeScratch {
+            interner: self.base_interner.clone(),
+            parse: ParseScratch::new(),
+            rewrite: RewriteScratch::new(),
+            fresh_base: String::new(),
+            out: String::new(),
+            hit_buf: Vec::with_capacity(self.cache.as_ref().map_or(0, RewriteCache::value_cap)),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Serve one request. With the cache enabled, a repeated (or
+    /// equivalently re-spelled) query is answered by fingerprint + probe +
+    /// copy; otherwise the full parse → rewrite → render pipeline runs and
+    /// the result backfills the cache. Returns the rewritten query text,
+    /// borrowed from the scratch's output buffer. Zero heap allocations
+    /// once the scratch (and its interner) are warm for the request's
+    /// vocabulary — hit or miss.
+    ///
+    /// Two-level keying: the **raw-byte** fingerprint (word-speed hash, a
+    /// few ns) catches byte-identical repeats — the dominant case, clients
+    /// re-send the same string — and only on a raw miss does the ~100ns
+    /// **canonical** fingerprint run to catch whitespace / keyword-case /
+    /// PREFIX-alias re-spellings. A canonical hit promotes the raw
+    /// spelling to its own entry so the next identical request takes the
+    /// fast level.
+    pub fn serve<'s>(
+        &self,
+        request: &str,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s str, ParseError> {
+        let Some(cache) = &self.cache else {
+            self.serve_cold(request, scratch)?;
+            return Ok(&scratch.out);
+        };
+        let raw_fp = fingerprint_raw(request);
+        if self.finish_hit(
+            cache.lookup(raw_fp, self.revision, &mut scratch.hit_buf),
+            scratch,
+        ) {
+            return Ok(&scratch.out);
+        }
+        let canon_fp = fingerprint_query(request);
+        if let Some(fp) = canon_fp {
+            if self.finish_hit(
+                cache.lookup(fp, self.revision, &mut scratch.hit_buf),
+                scratch,
+            ) {
+                // Promote this exact spelling: next time it hits on the
+                // raw level without paying for canonicalization.
+                cache.insert(raw_fp, self.revision, scratch.out.as_bytes());
+                return Ok(&scratch.out);
+            }
+        }
+        self.serve_cold(request, scratch)?;
+        // Counted only after a successful cold serve: a rejected request
+        // was never served, so it is neither a hit nor a miss.
+        scratch.cache_misses += 1;
+        // Fill under the canonical key (shared by every re-spelling) and
+        // the raw key (this spelling's fast level) — one entry when the
+        // request is already in canonical spelling and the keys coincide.
+        // An uncanonicalizable text can't be parsed either, so reaching
+        // here means `canon_fp` is almost always `Some`; if it isn't,
+        // don't cache at all.
+        if let Some(fp) = canon_fp {
+            cache.insert(fp, self.revision, scratch.out.as_bytes());
+            if fp != raw_fp {
+                cache.insert(raw_fp, self.revision, scratch.out.as_bytes());
+            }
+        }
+        Ok(&scratch.out)
+    }
+
+    /// On `hit`, validate the copied bytes and move them into the output
+    /// buffer; returns whether the request is fully served. The copied
+    /// bytes were rendered into a `String` by a previous cold serve and
+    /// survived the seqlock validation, so UTF-8 checking is a formality —
+    /// but a cheap one, and it keeps this module free of `unsafe`. Failure
+    /// falls through to the cold path.
+    fn finish_hit(&self, hit: bool, scratch: &mut ServeScratch) -> bool {
+        if !hit {
+            return false;
+        }
+        let ServeScratch {
+            out,
+            hit_buf,
+            cache_hits,
+            ..
+        } = scratch;
+        match std::str::from_utf8(hit_buf) {
+            Ok(text) => {
+                *cache_hits += 1;
+                out.clear();
+                out.push_str(text);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The uncached pipeline: parse → rewrite → render into `scratch.out`.
+    fn serve_cold(&self, request: &str, scratch: &mut ServeScratch) -> Result<(), ParseError> {
+        parse_query_into(request, &mut scratch.interner, &mut scratch.parse)?;
+        self.rewriter
+            .rewrite_ref_into(scratch.parse.query_ref(), &mut scratch.rewrite);
+        render_query_into(
+            QueryRef {
+                select: scratch.rewrite.select(),
+                pattern: scratch.rewrite.pattern(),
+            },
+            &scratch.interner,
+            &mut scratch.fresh_base,
+            &mut scratch.out,
+        );
+        Ok(())
+    }
+
+    /// Steady-state timed fan-out: split `requests` into `n_threads`
+    /// contiguous chunks, give each worker its own [`ServeScratch`], warm it
+    /// with one untimed pass, then loop `reps` times over the chunk.
+    /// Returns wall-clock time for the whole fan-out (spawn, interner
+    /// clones, and join included — amortize with `reps`).
+    pub fn timed_serve_run(&self, requests: &[String], n_threads: usize, reps: u32) -> Duration {
+        let chunk = requests.len().div_ceil(n_threads.max(1)).max(1);
+        let start = Instant::now();
+        thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let mut scratch = self.scratch();
+                        for q in slice {
+                            self.serve(q, &mut scratch).expect("workload parses");
+                        }
+                        for _ in 0..reps {
+                            for q in slice {
+                                let out = self.serve(q, &mut scratch).expect("workload parses");
+                                std::hint::black_box(out);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("serve worker panicked");
+            }
+        });
+        start.elapsed()
+    }
+}

@@ -89,9 +89,13 @@ pub(crate) fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Chain-absorb `parts` into one 64-bit draw.
+/// Chain-absorb `parts` into one 64-bit draw. Public because every seeded
+/// schedule in the workspace — the chaos proxy, the bench harness's chaos
+/// *client*, and the mutation fuzzes — derives its draws from this one
+/// primitive, keyed by (seed, index...) tuples; stateless mixing is what
+/// makes replays byte-identical under concurrency.
 #[inline]
-pub(crate) fn mix_chain(seed: u64, parts: &[u64]) -> u64 {
+pub fn mix_chain(seed: u64, parts: &[u64]) -> u64 {
     let mut h = mix64(seed ^ 0x9e37_79b9_7f4a_7c15);
     for &p in parts {
         h = mix64(h ^ p);

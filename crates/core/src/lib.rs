@@ -77,8 +77,10 @@
 pub mod align;
 pub mod cache;
 pub mod counting_alloc;
+pub mod engine;
 pub mod federate;
 pub mod fxhash;
+pub mod httpcore;
 pub mod interner;
 pub mod parser;
 pub mod pattern;
@@ -87,12 +89,16 @@ pub mod smallvec;
 pub mod term;
 
 pub use align::{AlignError, AlignmentStore, Rule, RuleTemplate, TemplateRef, NO_EXPR};
-pub use cache::{fingerprint_query, fingerprint_raw, CacheConfig, QueryFingerprint, RewriteCache};
+pub use cache::{
+    fingerprint_query, fingerprint_raw, CacheConfig, CacheStats, QueryFingerprint, RewriteCache,
+    ShardCacheStats,
+};
+pub use engine::{ServeEngine, ServeScratch};
 pub use federate::{
-    classify_http_status, classify_io_error, read_response, BackoffPolicy, BreakerConfig,
-    BreakerState, ChaosProxy, ChaosSpec, CircuitBreaker, DispatchPlan, EndpointId, EndpointOutcome,
-    EndpointPlan, EndpointReport, EndpointTransport, ExecutorConfig, FaultClass, FaultSpec,
-    FederatedExecutor, FederatedResult, FederationPlan, FederationPlanner, HttpConfig,
+    classify_http_status, classify_io_error, mix_chain, read_response, BackoffPolicy,
+    BreakerConfig, BreakerState, ChaosProxy, ChaosSpec, CircuitBreaker, DispatchPlan, EndpointId,
+    EndpointOutcome, EndpointPlan, EndpointReport, EndpointTransport, ExecutorConfig, FaultClass,
+    FaultSpec, FederatedExecutor, FederatedResult, FederationPlan, FederationPlanner, HttpConfig,
     HttpEndpoint, HttpError, HttpLimits, HttpResponse, HttpTransport, MockTransport,
     PartitionCacheStats, TransportError, TransportReply, TransportRequest,
 };

@@ -1,0 +1,678 @@
+//! Overload-safe SPARQL HTTP front end over the rewriting serve engine.
+//!
+//! Thread-per-worker blocking I/O over `std::net` — no async runtime, no
+//! dependencies. One acceptor thread and N worker threads share one
+//! [`ServeEngine`] behind an `Arc`; each worker pins its own
+//! [`ServeScratch`] + [`RequestScratch`] + response buffer, so the warm
+//! request path (keep-alive connection, cache hit) performs **zero heap
+//! allocations** end to end through the socket — the bench harness gates
+//! on that with the counting allocator.
+//!
+//! The request lifecycle is a strict state machine:
+//!
+//! ```text
+//!            accept
+//!              │
+//!       queue full? ──yes──► SHED: 503 + Retry-After, close
+//!              │                  (written by the acceptor, O(1),
+//!            queued                before any request byte is read)
+//!              │
+//!        worker picks up
+//!              │
+//!      ┌──── IDLE ◄────────────────────────────┐
+//!      │  wait first byte                      │
+//!      │  (keep-alive idle deadline)           │
+//!      │       │                               │
+//!      │     PARSE — request deadline armed    │
+//!      │       │     onto every socket read    │
+//!      │   ┌───┴─────────┐                     │
+//!      │ malformed     framed                  │
+//!      │   │             │                     │
+//!      │ 4xx, close    SERVE (engine)          │
+//!      │               ┌─┴──────────┐          │
+//!      │          parse error     rewritten    │
+//!      │               │            │          │
+//!      │          400, keep      200, keep ────┘
+//!      │               └────────────┘
+//!      └── idle timeout / peer close / drain → connection closed
+//! ```
+//!
+//! Overload never queues unboundedly: admission is a bounded queue and
+//! the shed path is O(1) — the acceptor writes a prebuilt `503` +
+//! `Retry-After` and closes, without parsing a byte. Slow peers never
+//! hold a worker past the request deadline: the shared
+//! [`DeadlineReader`] re-arms the socket timeout before every read.
+//! Worker panics are isolated per connection (`catch_unwind` → best-effort
+//! `500`, scratch rebuilt, worker lives on). Shutdown stops accepting,
+//! lets in-flight requests run out their request deadline, bounds all
+//! *new* waiting by the drain deadline, and reports what was dropped —
+//! so total shutdown time is bounded by `request_deadline +
+//! drain_deadline`.
+//!
+//! [`DeadlineReader`]: sparql_rewrite_core::httpcore::DeadlineReader
+
+pub mod request;
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sparql_rewrite_core::httpcore::{DeadlineReader, HttpLimits};
+use sparql_rewrite_core::{ServeEngine, ServeScratch};
+
+use request::{read_request, RequestError, RequestScratch, ERROR_CLASSES};
+
+/// Tunables for one [`Server`]. The defaults are sized for a loopback
+/// bench profile, not production traffic — every knob exists so the soak
+/// can pin deterministic behavior.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each owns one engine scratch).
+    pub workers: usize,
+    /// Accepted-but-unserved connection cap; beyond it the acceptor sheds.
+    pub queue_capacity: usize,
+    /// Header/body byte caps for request parsing.
+    pub limits: HttpLimits,
+    /// Budget from first request byte to fully framed request; re-armed
+    /// onto every socket read (slow-loris bound).
+    pub request_deadline: Duration,
+    /// How long a keep-alive connection may sit idle between requests.
+    pub keep_alive_idle: Duration,
+    /// On shutdown: bound on all *new* waiting (queue pickup, idle waits).
+    /// In-flight request reads armed before shutdown still run out their
+    /// `request_deadline`, so total drain ≤ `request_deadline +
+    /// drain_deadline`.
+    pub drain_deadline: Duration,
+    /// `Retry-After` seconds advertised on the shed path.
+    pub retry_after_secs: u32,
+    /// Query route path (SPARQL protocol endpoint), e.g. `/sparql`.
+    pub route: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            limits: HttpLimits::default(),
+            request_deadline: Duration::from_secs(2),
+            keep_alive_idle: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(1),
+            retry_after_secs: 1,
+            route: String::from("/sparql"),
+        }
+    }
+}
+
+/// Monotone counters + gauges, updated with relaxed atomics off the hot
+/// path's shared cache lines (per-request accounting that must be exact
+/// per class is one `fetch_add` per outcome).
+struct Counters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    served: AtomicU64,
+    panics: AtomicU64,
+    idle_closes: AtomicU64,
+    in_flight: AtomicUsize,
+    class_counts: [AtomicU64; ERROR_CLASSES],
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            idle_closes: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            class_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn count(&self, e: RequestError) {
+        self.class_counts[e.index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One coherent-enough read of the server's counters (each counter is an
+/// independent relaxed load).
+#[derive(Clone, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Connections the acceptor took off the listener.
+    pub accepted: u64,
+    /// Connections refused with `503` because the queue was full.
+    pub shed: u64,
+    /// Requests answered `200`.
+    pub served: u64,
+    /// Worker panics caught at the connection boundary.
+    pub panics: u64,
+    /// Keep-alive connections that ended idle (timeout or clean EOF).
+    pub idle_closes: u64,
+    /// Connections currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Connections currently being handled by workers.
+    pub in_flight: usize,
+    /// Per-[`RequestError`]-class counts, [`RequestError::labels`] order.
+    pub error_classes: [u64; ERROR_CLASSES],
+}
+
+impl StatsSnapshot {
+    /// Count for one error class.
+    pub fn class(&self, e: RequestError) -> u64 {
+        self.error_classes[e.index()]
+    }
+
+    /// Sum of all error-class counts.
+    pub fn errors_total(&self) -> u64 {
+        self.error_classes.iter().sum()
+    }
+}
+
+/// Bounded accept→work handoff. `try_push` is O(1) and never blocks the
+/// acceptor; `notify_one` wakes exactly one worker.
+struct Queue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    fn try_push(&self, s: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() >= self.capacity {
+            return Err(s);
+        }
+        q.push_back(s);
+        drop(q);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+/// State shared by the acceptor, the workers, and the [`Server`] handle.
+struct Shared {
+    engine: Arc<ServeEngine>,
+    config: ServerConfig,
+    queue: Queue,
+    shutdown: AtomicBool,
+    /// Base instant for `drain_at_nanos` (atomics can't hold `Instant`).
+    base: Instant,
+    /// Drain deadline as nanos since `base`; `u64::MAX` = not draining.
+    drain_at_nanos: AtomicU64,
+    stats: Counters,
+    shed_response: Vec<u8>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.drain_at_nanos.load(Ordering::Acquire) != u64::MAX
+    }
+
+    fn drain_instant(&self) -> Option<Instant> {
+        let n = self.drain_at_nanos.load(Ordering::Acquire);
+        (n != u64::MAX).then(|| self.base + Duration::from_nanos(n))
+    }
+
+    fn drain_expired(&self) -> bool {
+        self.drain_instant().is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// `now + budget`, capped by the drain deadline once draining.
+    fn eff_deadline(&self, budget: Duration) -> Instant {
+        let t = Instant::now() + budget;
+        match self.drain_instant() {
+            Some(d) if d < t => d,
+            _ => t,
+        }
+    }
+
+    /// Worker-side pickup: blocks (in 20ms condvar slices) until a
+    /// connection is available or shutdown empties the well. Once the
+    /// drain deadline has passed, remaining queued connections are left
+    /// for [`Server::shutdown`] to refuse with `503`.
+    fn pop_conn(&self) -> Option<TcpStream> {
+        let mut q = self
+            .queue
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if self.shutdown.load(Ordering::Acquire) && self.drain_expired() {
+                return None;
+            }
+            if let Some(s) = q.pop_front() {
+                return Some(s);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self
+                .queue
+                .cond
+                .wait_timeout(q, Duration::from_millis(20))
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+}
+
+/// What graceful shutdown observed.
+#[derive(Clone, Debug)]
+pub struct DrainReport {
+    /// Wall time from `shutdown()` entry to all threads joined.
+    pub elapsed: Duration,
+    /// Queued-but-never-served connections refused with `503` at the end.
+    pub dropped_from_queue: usize,
+    /// The configured drain deadline (for gating `elapsed` against).
+    pub drain_deadline: Duration,
+    /// The configured request deadline; `elapsed` is bounded by
+    /// `drain_deadline + request_deadline` (in-flight reads run out).
+    pub request_deadline: Duration,
+}
+
+impl DrainReport {
+    /// Did the drain complete within its documented bound (plus `slack`
+    /// for scheduling noise)?
+    pub fn within_bound(&self, slack: Duration) -> bool {
+        self.elapsed <= self.drain_deadline + self.request_deadline + slack
+    }
+}
+
+/// A running server: an acceptor thread, `config.workers` worker threads,
+/// and this handle. Dropping the handle without calling
+/// [`Server::shutdown`] leaks the threads (they keep serving).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and start serving `engine` with `config`.
+    pub fn spawn(engine: Arc<ServeEngine>, config: ServerConfig, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shed_response = render_shed(config.retry_after_secs);
+        let n_workers = config.workers.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Queue {
+                inner: Mutex::new(VecDeque::with_capacity(capacity)),
+                cond: Condvar::new(),
+                capacity,
+            },
+            config,
+            shutdown: AtomicBool::new(false),
+            base: Instant::now(),
+            drain_at_nanos: AtomicU64::new(u64::MAX),
+            stats: Counters::new(),
+            shed_response,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sparql-accept".into())
+                .spawn(move || accept_loop(&shared, &listener))?
+        };
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sparql-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind the server (cache stats live there).
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.shared.engine
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.shared.stats;
+        StatsSnapshot {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            served: c.served.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            idle_closes: c.idle_closes.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.depth(),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            error_classes: std::array::from_fn(|i| c.class_counts[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, bound new waiting by the drain
+    /// deadline, let in-flight reads run out their request deadline, join
+    /// everything, refuse leftovers with `503`.
+    pub fn shutdown(mut self) -> DrainReport {
+        let start = Instant::now();
+        let shared = &self.shared;
+        let drain_at = start + shared.config.drain_deadline;
+        shared.drain_at_nanos.store(
+            drain_at.duration_since(shared.base).as_nanos() as u64,
+            Ordering::Release,
+        );
+        shared.shutdown.store(true, Ordering::Release);
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        shared.queue.cond.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let mut dropped = 0usize;
+        let mut q = shared
+            .queue
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while let Some(stream) = q.pop_front() {
+            dropped += 1;
+            write_shed(&stream, &shared.shed_response);
+        }
+        drop(q);
+        DrainReport {
+            elapsed: start.elapsed(),
+            dropped_from_queue: dropped,
+            drain_deadline: shared.config.drain_deadline,
+            request_deadline: shared.config.request_deadline,
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    // The shutdown wake-up connection (or a straggler).
+                    drop(stream);
+                    return;
+                }
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                if let Err(stream) = shared.queue.try_push(stream) {
+                    // O(1) load shed: prebuilt bytes, no parsing, short
+                    // write timeout so a dead peer can't stall accepts.
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    write_shed(&stream, &shared.shed_response);
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Transient accept failure (e.g. fd pressure): back off a
+                // beat instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut serve_scratch = shared.engine.scratch();
+    let mut req_scratch = RequestScratch::new();
+    let mut resp = Vec::with_capacity(4096);
+    while let Some(stream) = shared.pop_conn() {
+        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(
+                shared,
+                &stream,
+                &mut serve_scratch,
+                &mut req_scratch,
+                &mut resp,
+            );
+        }));
+        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if outcome.is_err() {
+            // Panic isolation: count it, answer what we can, rebuild the
+            // scratches (their invariants may not have survived), live on.
+            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+            resp.clear();
+            render_response(&mut resp, 500, b"internal error\n", "text/plain", true);
+            let _ = (&stream).write_all(&resp);
+            let _ = stream.shutdown(Shutdown::Both);
+            serve_scratch = shared.engine.scratch();
+            req_scratch = RequestScratch::new();
+        }
+    }
+}
+
+/// Outcome of waiting for the first byte of the next request.
+enum FirstByte {
+    Ready,
+    Idle,
+    Gone,
+}
+
+fn wait_first_byte(r: &mut BufReader<DeadlineReader<'_>>) -> FirstByte {
+    match r.fill_buf() {
+        Ok([]) => FirstByte::Idle, // clean EOF between requests
+        Ok(_) => FirstByte::Ready,
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ) =>
+        {
+            FirstByte::Idle
+        }
+        Err(_) => FirstByte::Gone,
+    }
+}
+
+/// Serve one connection: keep-alive loop of idle-wait → deadline-armed
+/// request read → engine serve → response. Every return closes the
+/// connection (the stream drops with the caller's scope).
+fn handle_connection(
+    shared: &Shared,
+    stream: &TcpStream,
+    serve_scratch: &mut ServeScratch,
+    req_scratch: &mut RequestScratch,
+    resp: &mut Vec<u8>,
+) {
+    let _ = stream.set_nodelay(true);
+    let reader = DeadlineReader::new(stream, Instant::now() + shared.config.keep_alive_idle);
+    let mut r = BufReader::with_capacity(8 * 1024, reader);
+    loop {
+        // IDLE: between requests the only budget is the idle deadline
+        // (capped by the drain deadline once shutdown begins).
+        r.get_ref()
+            .set_deadline(shared.eff_deadline(shared.config.keep_alive_idle));
+        match wait_first_byte(&mut r) {
+            FirstByte::Ready => {}
+            FirstByte::Idle => {
+                shared.stats.idle_closes.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            FirstByte::Gone => return,
+        }
+        // PARSE: the first byte arrived; every subsequent read re-arms
+        // the socket timeout to what's left of the request deadline.
+        r.get_ref()
+            .set_deadline(shared.eff_deadline(shared.config.request_deadline));
+        let _ = stream.set_write_timeout(Some(shared.config.request_deadline));
+        match read_request(
+            &mut r,
+            &shared.config.limits,
+            shared.config.route.as_bytes(),
+            req_scratch,
+        ) {
+            Ok(req) => {
+                let close = !req.keep_alive || shared.draining();
+                // SERVE: cache hit or full pipeline; a SPARQL-level parse
+                // failure is the one 4xx that keeps the connection (the
+                // HTTP framing was clean, so we are still in sync).
+                match shared.engine.serve(&req_scratch.query, serve_scratch) {
+                    Ok(out) => {
+                        render_response(
+                            resp,
+                            200,
+                            out.as_bytes(),
+                            "application/sparql-query",
+                            close,
+                        );
+                        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        let e = RequestError::QueryUnparseable;
+                        shared.stats.count(e);
+                        render_response(resp, 400, e.label().as_bytes(), "text/plain", close);
+                    }
+                }
+                if write_all(stream, resp).is_err() || close {
+                    return;
+                }
+            }
+            Err(e) => {
+                shared.stats.count(e);
+                if let Some(status) = e.status() {
+                    render_response(resp, status, e.label().as_bytes(), "text/plain", true);
+                    if write_all(stream, resp).is_ok() {
+                        // The peer may still be mid-send; a hard close now
+                        // could RST the response out of their buffer.
+                        linger_close(stream);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// `Write` goes through `impl Write for &TcpStream` (shared reference,
+/// interior syscall) — this pins the reborrow the method call needs.
+fn write_all(mut s: &TcpStream, buf: &[u8]) -> io::Result<()> {
+    s.write_all(buf)
+}
+
+/// Half-close and briefly drain so an error response survives a peer
+/// that is still writing (close-with-unread-data triggers RST).
+fn linger_close(stream: &TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let until = Instant::now() + Duration::from_millis(150);
+    let mut buf = [0u8; 4096];
+    let mut drained = 0usize;
+    let mut s = stream;
+    while drained < 64 * 1024 && Instant::now() < until {
+        match s.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Shed-path write: prebuilt bytes, bounded write, brief linger.
+fn write_shed(stream: &TcpStream, bytes: &[u8]) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let mut s = stream;
+    if s.write_all(bytes).is_ok() {
+        let _ = stream.shutdown(Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+        let mut buf = [0u8; 1024];
+        let _ = s.read(&mut buf);
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        415 => "Unsupported Media Type",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Render a full response into `buf` (cleared first). Allocation-free
+/// once `buf` has capacity — the 200 hot path reuses one buffer per
+/// worker.
+fn render_response(buf: &mut Vec<u8>, status: u16, body: &[u8], content_type: &str, close: bool) {
+    buf.clear();
+    buf.extend_from_slice(b"HTTP/1.1 ");
+    push_decimal(buf, status as u64);
+    buf.push(b' ');
+    buf.extend_from_slice(reason(status).as_bytes());
+    buf.extend_from_slice(b"\r\nContent-Type: ");
+    buf.extend_from_slice(content_type.as_bytes());
+    buf.extend_from_slice(b"\r\nContent-Length: ");
+    push_decimal(buf, body.len() as u64);
+    if close {
+        buf.extend_from_slice(b"\r\nConnection: close");
+    }
+    buf.extend_from_slice(b"\r\n\r\n");
+    buf.extend_from_slice(body);
+}
+
+/// The prebuilt overload response the acceptor writes on the shed path.
+fn render_shed(retry_after_secs: u32) -> Vec<u8> {
+    let body = b"overloaded\n";
+    let mut buf = Vec::with_capacity(160);
+    buf.extend_from_slice(
+        b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nRetry-After: ",
+    );
+    push_decimal(&mut buf, retry_after_secs as u64);
+    buf.extend_from_slice(b"\r\nContent-Length: ");
+    push_decimal(&mut buf, body.len() as u64);
+    buf.extend_from_slice(b"\r\nConnection: close\r\n\r\n");
+    buf.extend_from_slice(body);
+    buf
+}
+
+fn push_decimal(out: &mut Vec<u8>, mut n: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&tmp[i..]);
+}

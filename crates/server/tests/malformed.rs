@@ -1,0 +1,390 @@
+//! Malformed-request battery for the server's request reader: every way a
+//! request can be malformed, oversized, truncated, or mis-typed must map
+//! onto exactly the documented [`RequestError`] class — never a panic,
+//! never a hang (the readers are pure over in-memory byte slices, so a
+//! hang here would be an unbounded loop, which the budgets forbid).
+//!
+//! The deterministic battery pins one case per failure class (and the
+//! healthy variants around them); the seeded mutation fuzz then slams the
+//! same reader with thousands of single-edit corruptions of known-good
+//! requests, plus the every-prefix truncation sweep.
+
+use std::io::Cursor;
+
+use sparql_rewrite_core::httpcore::HttpLimits;
+use sparql_rewrite_core::mix_chain;
+use sparql_rewrite_server::request::{read_request, RequestError, RequestScratch};
+
+fn read(bytes: &[u8], limits: &HttpLimits) -> Result<(String, bool), RequestError> {
+    let mut scratch = RequestScratch::new();
+    let mut r = Cursor::new(bytes);
+    read_request(&mut r, limits, b"/sparql", &mut scratch)
+        .map(|req| (scratch.query.clone(), req.keep_alive))
+}
+
+fn read_default(bytes: &[u8]) -> Result<(String, bool), RequestError> {
+    read(bytes, &HttpLimits::default())
+}
+
+#[test]
+fn battery_of_malformed_requests_degrades_to_structured_errors() {
+    use RequestError::*;
+    // (case name, raw request bytes, expected outcome)
+    let err_cases: &[(&str, &[u8], RequestError)] = &[
+        (
+            "missing_query_get",
+            b"GET /sparql?other=1 HTTP/1.1\r\n\r\n",
+            MissingQuery,
+        ),
+        ("no_query_string", b"GET /sparql HTTP/1.1\r\n\r\n", MissingQuery),
+        (
+            "missing_query_form",
+            b"POST /sparql HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 3\r\n\r\na=1",
+            MissingQuery,
+        ),
+        (
+            "bad_percent_truncated",
+            b"GET /sparql?query=%2 HTTP/1.1\r\n\r\n",
+            BadEncoding,
+        ),
+        (
+            "bad_percent_nonhex",
+            b"GET /sparql?query=%zz HTTP/1.1\r\n\r\n",
+            BadEncoding,
+        ),
+        (
+            "non_utf8_query",
+            b"GET /sparql?query=%FF%FE HTTP/1.1\r\n\r\n",
+            BadEncoding,
+        ),
+        (
+            "non_utf8_post_body",
+            b"POST /sparql HTTP/1.1\r\nContent-Length: 2\r\n\r\n\xff\xfe",
+            BadEncoding,
+        ),
+        ("wrong_path", b"GET /other?query=x HTTP/1.1\r\n\r\n", NotFound),
+        (
+            "route_prefix_not_route",
+            b"GET /sparqlx?query=x HTTP/1.1\r\n\r\n",
+            NotFound,
+        ),
+        (
+            "method_put",
+            b"PUT /sparql?query=x HTTP/1.1\r\n\r\n",
+            MethodNotAllowed,
+        ),
+        (
+            "method_delete",
+            b"DELETE /sparql?query=x HTTP/1.1\r\n\r\n",
+            MethodNotAllowed,
+        ),
+        (
+            "method_lowercase",
+            b"get /sparql?query=x HTTP/1.1\r\n\r\n",
+            BadRequestLine,
+        ),
+        (
+            "bad_version",
+            b"GET /sparql?query=x HTTP/2.0\r\n\r\n",
+            BadRequestLine,
+        ),
+        (
+            "two_part_request_line",
+            b"GET /sparql?query=x\r\n\r\n",
+            BadRequestLine,
+        ),
+        ("empty_target", b"GET  HTTP/1.1\r\n\r\n", BadRequestLine),
+        (
+            "get_with_content_length_body",
+            b"GET /sparql?query=x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+            BadRequestLine,
+        ),
+        (
+            "get_chunked",
+            b"GET /sparql?query=x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            BadRequestLine,
+        ),
+        (
+            "header_without_colon",
+            b"GET /sparql?query=x HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            BadHeader,
+        ),
+        (
+            "fold_with_no_header",
+            b"GET /sparql?query=x HTTP/1.1\r\n continuation\r\n\r\n",
+            BadHeader,
+        ),
+        (
+            "invalid_content_length",
+            b"POST /sparql HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+            InvalidContentLength,
+        ),
+        (
+            "negative_content_length",
+            b"POST /sparql HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            InvalidContentLength,
+        ),
+        (
+            "conflicting_content_lengths",
+            b"POST /sparql HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabc",
+            InvalidContentLength,
+        ),
+        (
+            "post_without_length",
+            b"POST /sparql HTTP/1.1\r\n\r\nSELECT",
+            LengthRequired,
+        ),
+        (
+            "unsupported_media_type",
+            b"POST /sparql HTTP/1.1\r\nContent-Type: text/turtle\r\nContent-Length: 6\r\n\r\nSELECT",
+            UnsupportedMediaType,
+        ),
+        (
+            "bad_chunk_size",
+            b"POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nxyz\r\n",
+            InvalidChunk,
+        ),
+        (
+            "chunk_missing_crlf",
+            b"POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nSELECTXX0\r\n\r\n",
+            InvalidChunk,
+        ),
+        (
+            "truncated_mid_headers",
+            b"GET /sparql?query=x HTTP/1.1\r\nHost: a",
+            Closed,
+        ),
+        (
+            "truncated_mid_body",
+            b"POST /sparql HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort",
+            Closed,
+        ),
+        ("empty_input", b"", Closed),
+        (
+            "body_too_large_declared",
+            b"POST /sparql HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+            BodyTooLarge,
+        ),
+    ];
+    for (name, bytes, want) in err_cases {
+        match read_default(bytes) {
+            Err(got) => assert_eq!(got, *want, "case {name}"),
+            Ok((q, _)) => panic!("case {name}: expected {want:?}, parsed query {q:?}"),
+        }
+    }
+
+    // Small-limit cases: header and body caps enforced with exact classes.
+    let tight = HttpLimits {
+        max_header_bytes: 64,
+        max_body_bytes: 16,
+    };
+    let mut big_header = b"GET /sparql?query=x HTTP/1.1\r\nX-Pad: ".to_vec();
+    big_header.extend_from_slice(&[b'a'; 128]);
+    big_header.extend_from_slice(b"\r\n\r\n");
+    assert_eq!(
+        read(&big_header, &tight).unwrap_err(),
+        HeadersTooLarge,
+        "case headers_too_large"
+    );
+    assert_eq!(
+        read(
+            b"POST /sparql HTTP/1.1\r\nContent-Length: 32\r\n\r\n0123456789abcdef0123456789abcdef",
+            &tight,
+        )
+        .unwrap_err(),
+        BodyTooLarge,
+        "case body_too_large_vs_limit"
+    );
+    assert_eq!(
+        read(
+            b"POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n20\r\n0123456789abcdef0123456789abcdef\r\n0\r\n\r\n",
+            &tight,
+        )
+        .unwrap_err(),
+        BodyTooLarge,
+        "case chunked_body_too_large"
+    );
+}
+
+#[test]
+fn battery_of_healthy_requests_parses_exactly() {
+    // (case name, raw bytes, expected query text, expected keep-alive)
+    let ok_cases: &[(&str, &[u8], &str, bool)] = &[
+        (
+            "get_urlencoded",
+            b"GET /sparql?query=SELECT%20*%20WHERE%20%7B%3Fs%20%3Fp%20%3Fo%7D HTTP/1.1\r\nHost: x\r\n\r\n",
+            "SELECT * WHERE {?s ?p ?o}",
+            true,
+        ),
+        (
+            "get_plus_as_space",
+            b"GET /sparql?query=a+b+c HTTP/1.1\r\n\r\n",
+            "a b c",
+            true,
+        ),
+        (
+            "get_other_params_around",
+            b"GET /sparql?format=json&query=x&limit=10 HTTP/1.1\r\n\r\n",
+            "x",
+            true,
+        ),
+        (
+            "get_empty_query_param",
+            b"GET /sparql?query= HTTP/1.1\r\n\r\n",
+            "",
+            true,
+        ),
+        (
+            "get_http10_default_close",
+            b"GET /sparql?query=x HTTP/1.0\r\n\r\n",
+            "x",
+            false,
+        ),
+        (
+            "get_http10_keep_alive_optin",
+            b"GET /sparql?query=x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+            "x",
+            true,
+        ),
+        (
+            "get_http11_connection_close",
+            b"GET /sparql?query=x HTTP/1.1\r\nConnection: close\r\n\r\n",
+            "x",
+            false,
+        ),
+        (
+            "post_sparql_query_body",
+            b"POST /sparql HTTP/1.1\r\nContent-Type: application/sparql-query\r\nContent-Length: 25\r\n\r\nSELECT * WHERE {?s ?p ?o}",
+            "SELECT * WHERE {?s ?p ?o}",
+            true,
+        ),
+        (
+            "post_media_type_with_params",
+            b"POST /sparql HTTP/1.1\r\nContent-Type: application/sparql-query; charset=UTF-8\r\nContent-Length: 6\r\n\r\nSELECT",
+            "SELECT",
+            true,
+        ),
+        (
+            "post_missing_content_type_defaults_to_sparql",
+            b"POST /sparql HTTP/1.1\r\nContent-Length: 6\r\n\r\nSELECT",
+            "SELECT",
+            true,
+        ),
+        (
+            "post_form_urlencoded",
+            b"POST /sparql HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 17\r\n\r\nquery=a%20b&pad=1",
+            "a b",
+            true,
+        ),
+        (
+            "post_chunked_body",
+            b"POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nSELECT\r\n3\r\n *X\r\n0\r\n\r\n",
+            "SELECT *X",
+            true,
+        ),
+        (
+            "post_chunked_with_extension_and_trailer",
+            b"POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n6;ext=1\r\nSELECT\r\n0\r\nTrailer: x\r\n\r\n",
+            "SELECT",
+            true,
+        ),
+        (
+            "duplicate_agreeing_content_lengths",
+            b"POST /sparql HTTP/1.1\r\nContent-Length: 6\r\nContent-Length: 6\r\n\r\nSELECT",
+            "SELECT",
+            true,
+        ),
+        (
+            "folded_header_ignored",
+            b"GET /sparql?query=x HTTP/1.1\r\nX-Long: part one\r\n part two\r\n\r\n",
+            "x",
+            true,
+        ),
+        (
+            "case_insensitive_headers",
+            b"POST /sparql HTTP/1.1\r\ncOnTeNt-LeNgTh: 6\r\ncontent-TYPE: APPLICATION/SPARQL-QUERY\r\n\r\nSELECT",
+            "SELECT",
+            true,
+        ),
+    ];
+    for (name, bytes, want_query, want_keep) in ok_cases {
+        match read_default(bytes) {
+            Ok((q, keep)) => {
+                assert_eq!(q, *want_query, "case {name}: query text");
+                assert_eq!(keep, *want_keep, "case {name}: keep-alive");
+            }
+            Err(e) => panic!("case {name}: expected success, got {e:?}"),
+        }
+    }
+}
+
+/// Every strict prefix of a valid request is an error (mostly `Closed` —
+/// the peer vanished mid-message), and never a panic.
+#[test]
+fn every_prefix_of_a_valid_request_errors_cleanly() {
+    let bases: &[&[u8]] = &[
+        b"GET /sparql?query=SELECT%20*%20WHERE%20%7B%3Fs%20%3Fp%20%3Fo%7D HTTP/1.1\r\nHost: x\r\n\r\n",
+        b"POST /sparql HTTP/1.1\r\nContent-Type: application/sparql-query\r\nContent-Length: 25\r\n\r\nSELECT * WHERE {?s ?p ?o}",
+        b"POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nSELECT\r\n0\r\n\r\n",
+    ];
+    for base in bases {
+        for cut in 0..base.len() {
+            let r = read_default(&base[..cut]);
+            assert!(
+                r.is_err(),
+                "prefix of len {cut} of {:?} parsed as {:?}",
+                String::from_utf8_lossy(base),
+                r
+            );
+        }
+        assert!(read_default(base).is_ok());
+    }
+}
+
+/// Seeded mutation fuzz: single-edit corruptions (flip / insert / delete
+/// / truncate / slice-duplicate) of known-good requests. The reader must
+/// return *some* result for every mutant — structured error or a
+/// still-valid parse — without panicking; and valid bases must keep
+/// parsing between rounds (no state leaks through the reused scratch).
+#[test]
+fn mutation_fuzz_never_panics_the_request_reader() {
+    let bases: &[&[u8]] = &[
+        b"GET /sparql?query=SELECT%20*%20WHERE%20%7B%3Fs%20%3Fp%20%3Fo%7D HTTP/1.1\r\nHost: example.org\r\nAccept: */*\r\n\r\n",
+        b"POST /sparql HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 11\r\n\r\nquery=a%20b",
+        b"POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n6\r\nSELECT\r\n4\r\n ABC\r\n0\r\n\r\n",
+    ];
+    let limits = HttpLimits::default();
+    let mut scratch = RequestScratch::new();
+    let seed = 0x05ee_d0f0_25e1_7ee5_u64;
+    let mut mutant = Vec::new();
+    for round in 0..6000u64 {
+        let base = bases[(mix_chain(seed, &[round, 0]) % bases.len() as u64) as usize];
+        mutant.clear();
+        mutant.extend_from_slice(base);
+        let pos = (mix_chain(seed, &[round, 1]) % base.len() as u64) as usize;
+        let byte = (mix_chain(seed, &[round, 2]) & 0xff) as u8;
+        match mix_chain(seed, &[round, 3]) % 5 {
+            0 => mutant[pos] ^= byte | 1,
+            1 => mutant.insert(pos, byte),
+            2 => {
+                mutant.remove(pos);
+            }
+            3 => mutant.truncate(pos),
+            _ => {
+                let end = (pos + 1 + (mix_chain(seed, &[round, 4]) % 8) as usize).min(base.len());
+                let dup: Vec<u8> = base[pos..end].to_vec();
+                let at = (mix_chain(seed, &[round, 5]) % (mutant.len() as u64 + 1)) as usize;
+                for (i, b) in dup.into_iter().enumerate() {
+                    mutant.insert(at + i, b);
+                }
+            }
+        }
+        let mut r = Cursor::new(mutant.as_slice());
+        // Any Ok/Err is fine; panics and hangs are the failure modes.
+        let _ = read_request(&mut r, &limits, b"/sparql", &mut scratch);
+        // Scratch must stay serviceable: the unmutated base still parses.
+        let mut r = Cursor::new(base);
+        read_request(&mut r, &limits, b"/sparql", &mut scratch)
+            .expect("pristine base request must keep parsing with the reused scratch");
+    }
+}
