@@ -1381,6 +1381,39 @@ fn main() {
     } else {
         None
     };
+    let server_federated = if selected("server/federated_chaos") {
+        eprintln!(
+            "server federated chaos (chaos client in front, 4 chaos-proxy endpoints behind, \
+             x2 runs):"
+        );
+        let f = server_soak::run_server_federated_chaos(quick);
+        eprintln!(
+            "  {:>4} conns, {:>4} attempts -> served {:>4}  errors {:>4}  complete {}  \
+             partial {}  502 {}  504 {}  ({:.0} attempts/sec)",
+            f.n_connections,
+            f.requests_attempted,
+            f.served,
+            f.errors_total,
+            f.complete_responses,
+            f.partial_responses,
+            f.gateway_unavailable,
+            f.gateway_timeouts,
+            f.attempts_per_sec,
+        );
+        eprintln!(
+            "  deterministic={} partial_seen={} breakers_converged={} deadline_breaches={} \
+             panics={} breakers={:?}",
+            f.deterministic,
+            f.partial_seen,
+            f.breakers_converged,
+            f.deadline_breaches,
+            f.panics,
+            f.breakers,
+        );
+        Some(f)
+    } else {
+        None
+    };
 
     let max_allocs = results
         .iter()
@@ -1704,6 +1737,58 @@ fn main() {
             .int("value_cap_bytes", c.value_cap);
         root.raw("server_cached", &o.finish());
     }
+    if let Some(f) = &server_federated {
+        let mut inj = JsonObject::new();
+        for (class, n) in chaos_client::ClientFault::ALL.iter().zip(f.injected_client) {
+            inj.int(class.name(), n);
+        }
+        let mut outcomes = JsonObject::new();
+        for (label, n) in sparql_rewrite_server::OUTCOME_CLASSES
+            .iter()
+            .zip(f.outcomes)
+        {
+            outcomes.int(label, n);
+        }
+        let mut o = JsonObject::new();
+        o.str("name", &f.name)
+            .int("n_endpoints", f.n_endpoints as u64)
+            .int("n_connections", f.n_connections as u64)
+            .int("requests_attempted", f.requests_attempted)
+            .int("served", f.served)
+            .int("errors_total", f.errors_total)
+            .raw("injected_client", &inj.finish())
+            .raw(
+                "injected_endpoints",
+                &array(f.injected_endpoints.iter().map(|n| n.to_string())),
+            )
+            .raw("endpoint_outcomes", &outcomes.finish())
+            .int("complete_responses", f.complete_responses)
+            .int("partial_responses", f.partial_responses)
+            .int("gateway_unavailable_502", f.gateway_unavailable)
+            .int("gateway_timeout_504", f.gateway_timeouts)
+            .int("deadline_breaches", f.deadline_breaches)
+            .raw(
+                "breakers",
+                &array(f.breakers.iter().map(|b| format!("\"{b}\""))),
+            )
+            .raw(
+                "latency_query_bin_lower_nanos",
+                &array(
+                    (0..sparql_rewrite_server::LATENCY_BINS)
+                        .map(|i| sparql_rewrite_server::latency_bin_lower_nanos(i).to_string()),
+                ),
+            )
+            .raw(
+                "latency_query_counts",
+                &array(f.latency_query.iter().map(|n| n.to_string())),
+            )
+            .num("attempts_per_sec", f.attempts_per_sec)
+            .int("deterministic", u64::from(f.deterministic))
+            .int("partial_seen", u64::from(f.partial_seen))
+            .int("breakers_converged", u64::from(f.breakers_converged))
+            .int("panics", f.panics);
+        root.raw("server_federated", &o.finish());
+    }
     root.raw("summary", &summary.finish());
     let doc = root.finish();
 
@@ -1990,6 +2075,46 @@ fn main() {
                 "{} oversize cache bypasses under a workload-tuned value cap",
                 c.oversize_bypasses
             ));
+        }
+    }
+    // Double-sided federated chaos: the server between a hostile client and
+    // hostile endpoints must stay deterministic, panic-free, honest about
+    // partial results, and inside its deadline ceiling.
+    if let Some(f) = &server_federated {
+        if f.panics > 0 {
+            failures.push(format!(
+                "federated chaos caught {} panic(s) between chaos client and chaos endpoints",
+                f.panics
+            ));
+        }
+        if !f.deterministic {
+            failures.push(
+                "federated chaos transcripts (client or server side) diverged across \
+                 identical-seed runs"
+                    .to_string(),
+            );
+        }
+        if !f.breakers_converged {
+            failures.push(
+                "final breaker states diverged across identical-seed federated runs".to_string(),
+            );
+        }
+        if !f.partial_seen {
+            failures.push(
+                "no mixed partial response observed — the degraded-endpoint path never ran"
+                    .to_string(),
+            );
+        }
+        if f.deadline_breaches > 0 {
+            failures.push(format!(
+                "{} federated response(s) exceeded deadline + max backoff",
+                f.deadline_breaches
+            ));
+        }
+        if f.complete_responses == 0 {
+            failures.push(
+                "federated chaos completed nothing — the dispatch path is broken".to_string(),
+            );
         }
     }
     if !failures.is_empty() {

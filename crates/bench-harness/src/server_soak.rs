@@ -26,14 +26,20 @@ use std::time::{Duration, Instant};
 
 use sparql_rewrite_core::counting_alloc::allocation_count;
 use sparql_rewrite_core::httpcore::{read_response, HttpLimits};
-use sparql_rewrite_core::{CacheConfig, Interner, ServeEngine};
-use sparql_rewrite_server::request::ERROR_CLASSES;
-use sparql_rewrite_server::{Server, ServerConfig, StatsSnapshot};
+use sparql_rewrite_core::{
+    BackoffPolicy, BreakerConfig, CacheConfig, ChaosProxy, ChaosSpec, ExecutorConfig, HttpConfig,
+    Interner, RewriteLimits, ServeEngine,
+};
+use sparql_rewrite_server::request::{Route, ERROR_CLASSES};
+use sparql_rewrite_server::{
+    EndpointRoute, FederationConfig, FederationStats, Server, ServerConfig, StatsSnapshot,
+    LATENCY_BINS,
+};
 
 use crate::chaos_client::{render_get, ChaosClient, N_FAULTS};
 use crate::workload::{
-    alias_prefix, generate, perturb_whitespace, zipf_ranks, ComplexShape, Rng, WorkloadSpec,
-    ZipfSpec,
+    alias_prefix, generate, generate_federation, perturb_whitespace, zipf_ranks, ComplexShape,
+    FederationSpec, Rng, WorkloadSpec, ZipfSpec,
 };
 
 /// Outcome of the server chaos soak (phases 1 and 2).
@@ -483,5 +489,299 @@ pub fn run_server_cached_config(quick: bool) -> ServerCachedResult {
         cache_hit_ratio: stats_after.hit_ratio(),
         oversize_bypasses: engine.cache_bypasses(),
         value_cap,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Double-sided federated chaos: seeded chaos client in front, chaos proxies
+// behind, the federated server squeezed between them.
+// ---------------------------------------------------------------------------
+
+/// Fault counters a [`ChaosProxy`] reports.
+const PROXY_FAULTS: usize = 9;
+
+/// Outcome of the `server/federated_chaos` leg: the full seeded client
+/// schedule against a federated server whose member endpoints are chaos
+/// proxies, twice with the same seeds, gated on byte-identical
+/// transcripts on *both* sides of the server.
+pub struct FederatedSoak {
+    pub name: String,
+    pub n_endpoints: usize,
+    pub n_connections: usize,
+    /// Client request attempts per run (transcript lines).
+    pub requests_attempted: u64,
+    pub served: u64,
+    pub errors_total: u64,
+    /// Client-side fault injections, [`ClientFault::ALL`] order.
+    ///
+    /// [`ClientFault::ALL`]: crate::chaos_client::ClientFault::ALL
+    pub injected_client: [u64; N_FAULTS],
+    /// Endpoint-side fault injections summed over every proxy,
+    /// `ChaosFault` order.
+    pub injected_endpoints: [u64; PROXY_FAULTS],
+    /// Per-endpoint outcome tallies ([`OUTCOME_CLASSES`] order:
+    /// served / timed-out / circuit-open / retries-exhausted).
+    ///
+    /// [`OUTCOME_CLASSES`]: sparql_rewrite_server::OUTCOME_CLASSES
+    pub outcomes: [u64; 4],
+    pub complete_responses: u64,
+    pub partial_responses: u64,
+    pub gateway_unavailable: u64,
+    pub gateway_timeouts: u64,
+    pub deadline_breaches: u64,
+    /// Final breaker state per endpoint (run 1).
+    pub breakers: Vec<String>,
+    /// Server-measured wall-clock latency histogram for the query route
+    /// (run 1; reported, never part of the determinism compare).
+    pub latency_query: [u64; LATENCY_BINS],
+    pub attempts_per_sec: f64,
+    /// Client transcript, server outcome transcript, both fault
+    /// schedules, federation stats, and server counters all byte- or
+    /// field-identical across the two identical-seed runs.
+    pub deterministic: bool,
+    /// At least one mixed response (some endpoints served, some not) was
+    /// actually observed — the partial-result path ran, not just the
+    /// happy path.
+    pub partial_seen: bool,
+    /// Final breaker states identical across both runs.
+    pub breakers_converged: bool,
+    /// Worker panics + executor transport panics over both runs, plus
+    /// any panic that escaped the harness itself.
+    pub panics: u64,
+}
+
+/// Everything one federated chaos run yields that the determinism
+/// compare needs.
+struct FedRun {
+    client_transcript: String,
+    server_transcript: String,
+    injected_client: [u64; N_FAULTS],
+    injected_endpoints: [u64; PROXY_FAULTS],
+    attempts: u64,
+    fstats: FederationStats,
+    stats: StatsSnapshot,
+}
+
+/// Per-endpoint chaos profile: one honest member, one that lies at the
+/// protocol layer, one slow one, and one hostile enough to trip its
+/// breaker — the mix that forces mixed (partial) responses.
+fn endpoint_chaos(e: usize) -> ChaosSpec {
+    match e {
+        0 => ChaosSpec::default(),
+        1 => ChaosSpec {
+            malformed_status_pct: 10,
+            malformed_header_pct: 8,
+            wrong_len_pct: 6,
+            ..ChaosSpec::default()
+        },
+        2 => ChaosSpec {
+            trickle_pct: 10,
+            truncate_pct: 8,
+            trickle_step_nanos: 2_000_000,
+            ..ChaosSpec::default()
+        },
+        _ => ChaosSpec {
+            refuse_pct: 20,
+            reset_pct: 18,
+            truncate_pct: 12,
+            ..ChaosSpec::default()
+        },
+    }
+}
+
+/// One full double-sided run: fresh proxies, fresh federated server,
+/// the complete seeded client schedule, then a quiescence wait so every
+/// accepted connection is fully processed before counters are read
+/// (abandoned client connections would otherwise race the snapshot).
+fn federated_chaos_run(spec: &FederationSpec, n_connections: usize, client_seed: u64) -> FedRun {
+    let w = generate_federation(spec);
+    let queries: Vec<String> = w
+        .queries
+        .iter()
+        .map(|q| q.display(&w.interner).to_string())
+        .collect();
+    let proxies: Vec<ChaosProxy> = (0..spec.n_endpoints)
+        .map(|e| {
+            ChaosProxy::spawn(spec.seed.wrapping_add(e as u64), endpoint_chaos(e))
+                .expect("chaos proxy binds loopback")
+        })
+        .collect();
+    let routes = (0..spec.n_endpoints)
+        .map(|e| EndpointRoute {
+            iri: format!("http://ep{e}.example.org/sparql"),
+            authority: proxies[e].authority(),
+            path: "/sparql".to_string(),
+        })
+        .collect();
+    let fed = FederationConfig {
+        planner: w.planner,
+        interner: w.interner,
+        routes,
+        executor: ExecutorConfig {
+            n_threads: 4,
+            deadline_nanos: 250_000_000,
+            inter_request_nanos: 50_000_000,
+            backoff: BackoffPolicy {
+                base_nanos: 2_000_000,
+                max_nanos: 10_000_000,
+                max_retries: 2,
+            },
+            breaker: BreakerConfig {
+                window: 8,
+                min_samples: 4,
+                failure_rate_pct: 50,
+                cooldown_nanos: 120_000_000,
+                half_open_successes: 1,
+            },
+            seed: client_seed ^ 0xfed,
+        },
+        http: HttpConfig::default(),
+        limits: RewriteLimits::default(),
+        record_outcomes: true,
+    };
+    // One worker: the serial client plus a single worker makes the
+    // server-side outcome transcript a deterministic total order.
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        request_deadline: Duration::from_secs(2),
+        keep_alive_idle: Duration::from_secs(2),
+        drain_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let limits = config.limits;
+    let server =
+        Server::spawn_federated(fed, config, "127.0.0.1:0").expect("federated server binds");
+    let mut client = ChaosClient::new(server.local_addr(), client_seed, limits);
+    let mut client_transcript = String::new();
+    let mut attempts = 0u64;
+    for conn in 0..n_connections {
+        attempts += client.run_connection(conn as u64, &queries, &mut client_transcript);
+    }
+    // Quiesce: mid-request aborts leave the last connections queued or
+    // in flight after the client returns; wait until the worker has
+    // drained them so snapshots don't race wall-clock scheduling.
+    let t0 = Instant::now();
+    loop {
+        let s = server.stats();
+        if s.in_flight == 0 && s.queue_depth == 0 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "federated server never quiesced"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let fstats = server.federation_stats().expect("federated mode");
+    let server_transcript = server.federation_transcript().expect("recording enabled");
+    let stats = server.stats();
+    server.shutdown();
+    let mut injected_endpoints = [0u64; PROXY_FAULTS];
+    for p in &proxies {
+        for (total, n) in injected_endpoints.iter_mut().zip(p.injected_counts()) {
+            *total += n;
+        }
+    }
+    FedRun {
+        client_transcript,
+        server_transcript,
+        injected_client: client.injected,
+        injected_endpoints,
+        attempts,
+        fstats,
+        stats,
+    }
+}
+
+/// The `server/federated_chaos` leg: double-sided chaos, twice with the
+/// same seeds, compared field by field.
+pub fn run_server_federated_chaos(quick: bool) -> FederatedSoak {
+    let spec = FederationSpec {
+        n_endpoints: 4,
+        rules_per_endpoint: if quick { 48 } else { 96 },
+        n_queries: 24,
+        patterns_per_query: 8,
+        seed: 0xfed5_0a4e_ca11_ed01,
+    };
+    let n_connections = if quick { 16 } else { 56 };
+    let client_seed = 0x2fed_c1a0_5eed_cafe;
+
+    let start = Instant::now();
+    let first = std::panic::catch_unwind(|| federated_chaos_run(&spec, n_connections, client_seed));
+    let second =
+        std::panic::catch_unwind(|| federated_chaos_run(&spec, n_connections, client_seed));
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let (deterministic, breakers_converged, run, panics) = match (&first, &second) {
+        (Ok(a), Ok(b)) => {
+            let same = a.client_transcript == b.client_transcript
+                && a.server_transcript == b.server_transcript
+                && a.injected_client == b.injected_client
+                && a.injected_endpoints == b.injected_endpoints
+                && a.attempts == b.attempts
+                && a.fstats == b.fstats
+                && a.stats.accepted == b.stats.accepted
+                && a.stats.served == b.stats.served
+                && a.stats.shed == b.stats.shed
+                && a.stats.error_classes == b.stats.error_classes;
+            let converged = a.fstats.breakers == b.fstats.breakers;
+            let panics = a.stats.panics
+                + b.stats.panics
+                + a.fstats.transport_panics
+                + b.fstats.transport_panics;
+            (same, converged, Some(a), panics)
+        }
+        // A panic that escaped the harness folds into the panic gate.
+        _ => (false, false, None, 1),
+    };
+
+    match run {
+        Some(a) => FederatedSoak {
+            name: "server/federated_chaos/4ep/double-sided".to_string(),
+            n_endpoints: spec.n_endpoints,
+            n_connections,
+            requests_attempted: a.attempts,
+            served: a.stats.served,
+            errors_total: a.stats.errors_total(),
+            injected_client: a.injected_client,
+            injected_endpoints: a.injected_endpoints,
+            outcomes: a.fstats.outcomes,
+            complete_responses: a.fstats.complete_responses,
+            partial_responses: a.fstats.partial_responses,
+            gateway_unavailable: a.fstats.gateway_unavailable,
+            gateway_timeouts: a.fstats.gateway_timeouts,
+            deadline_breaches: a.fstats.deadline_breaches,
+            breakers: a.fstats.breakers.iter().map(|b| format!("{b:?}")).collect(),
+            latency_query: a.stats.latency[Route::Query.index()],
+            attempts_per_sec: (2 * a.attempts) as f64 / elapsed,
+            deterministic,
+            partial_seen: a.fstats.partial_responses > 0,
+            breakers_converged,
+            panics,
+        },
+        None => FederatedSoak {
+            name: "server/federated_chaos/4ep/double-sided".to_string(),
+            n_endpoints: spec.n_endpoints,
+            n_connections,
+            requests_attempted: 0,
+            served: 0,
+            errors_total: 0,
+            injected_client: [0; N_FAULTS],
+            injected_endpoints: [0; PROXY_FAULTS],
+            outcomes: [0; 4],
+            complete_responses: 0,
+            partial_responses: 0,
+            gateway_unavailable: 0,
+            gateway_timeouts: 0,
+            deadline_breaches: 0,
+            breakers: Vec::new(),
+            latency_query: [0; LATENCY_BINS],
+            attempts_per_sec: 0.0,
+            deterministic,
+            partial_seen: false,
+            breakers_converged,
+            panics,
+        },
     }
 }

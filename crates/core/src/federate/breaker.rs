@@ -134,6 +134,24 @@ impl CircuitBreaker {
         }
     }
 
+    /// Virtual nanoseconds until an *open* breaker would admit its next
+    /// half-open probe, measured at virtual time `now`; `None` unless the
+    /// breaker is open. `Some(0)` means the very next [`allow`] call will
+    /// probe. This is the `Retry-After` signal for callers that surface an
+    /// open breaker to their own clients.
+    ///
+    /// [`allow`]: CircuitBreaker::allow
+    pub fn cooldown_remaining(&self, now: u64) -> Option<u64> {
+        match self.state {
+            BreakerState::Open => Some(
+                self.opened_at
+                    .saturating_add(self.config.cooldown_nanos)
+                    .saturating_sub(now),
+            ),
+            BreakerState::Closed | BreakerState::HalfOpen => None,
+        }
+    }
+
     /// Release a probe slot claimed by [`CircuitBreaker::allow`] without
     /// recording a result — for callers that were admitted but bailed out
     /// (e.g. zero remaining deadline budget) before dispatching.
@@ -314,6 +332,23 @@ mod tests {
         b.record(2_001, true);
         b.record(2_002, true);
         assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_remaining_tracks_the_half_open_eta() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert_eq!(b.cooldown_remaining(0), None, "closed breaker has no ETA");
+        for t in 0..4 {
+            b.record(t, false);
+        }
+        // Tripped at t=3, cooldown 1_000 → probe admitted at t=1_003.
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.cooldown_remaining(3), Some(1_000));
+        assert_eq!(b.cooldown_remaining(503), Some(500));
+        assert_eq!(b.cooldown_remaining(2_000), Some(0), "ETA saturates at 0");
+        // Half-open (probe claimed) is no longer "open": no ETA.
+        assert!(b.allow(1_003));
+        assert_eq!(b.cooldown_remaining(1_003), None);
     }
 
     #[test]

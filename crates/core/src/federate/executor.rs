@@ -136,6 +136,20 @@ impl<T: EndpointTransport> FederatedExecutor<T> {
             .collect()
     }
 
+    /// Soonest half-open ETA across all *open* breakers, in virtual
+    /// nanoseconds from each endpoint's own clock: how long until at least
+    /// one tripped endpoint would admit a probe again. `None` when no
+    /// breaker is open. This is what an HTTP front end converts into a
+    /// `Retry-After` when a whole execution degrades to breaker fast-fails.
+    pub fn soonest_half_open_nanos(&self) -> Option<u64> {
+        (0..self.runtimes.len())
+            .filter_map(|e| {
+                let rt = self.lock_runtime(e);
+                rt.breaker.cooldown_remaining(rt.clock)
+            })
+            .min()
+    }
+
     /// Execute every planned subquery, concurrently, and return one report
     /// per endpoint in plan order. Never panics on endpoint failure — every
     /// fault degrades to a structured [`EndpointOutcome`].

@@ -341,6 +341,18 @@ impl FederationPlanner {
         self.endpoints.len()
     }
 
+    /// The endpoint IRI term `id` was registered with (ids are dense
+    /// registration indexes — see [`FederationPlanner::add_endpoint`]).
+    /// Lets a front end match transport addresses against planner members
+    /// by IRI instead of by registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this planner.
+    pub fn endpoint_term(&self, id: EndpointId) -> Term {
+        self.endpoints[id.0 as usize].term
+    }
+
     /// Cache key of endpoint `e`'s partition: the endpoint id and every
     /// triple's interned term bits, chain-mixed. Interner symbols are
     /// process-stable, which is exactly the lifetime of the cache.

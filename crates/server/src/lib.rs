@@ -8,6 +8,27 @@
 //! allocations** end to end through the socket — the bench harness gates
 //! on that with the counting allocator.
 //!
+//! The server runs in one of two modes. **Single-store** ([`Server::spawn`])
+//! serves rewrites from one [`ServeEngine`]. **Federated**
+//! ([`Server::spawn_federated`]) plans each query across per-endpoint
+//! alignment stores and dispatches the subqueries over real HTTP; the
+//! per-endpoint outcomes map onto explicit degraded-mode semantics:
+//!
+//! ```text
+//! every endpoint served   → 200, envelope "partial":false
+//! some endpoints served   → 200, envelope "partial":true
+//!                           + X-Endpoint-Status: ep0=served,ep1=timed-out,…
+//! no endpoint served      → 502 Bad Gateway (504 if any endpoint timed
+//!                           out), Retry-After from the soonest breaker
+//!                           half-open ETA
+//! ```
+//!
+//! Both modes expose a read-only observability surface: `GET /healthz`
+//! (readiness keyed on drain state, queue saturation, and breaker states)
+//! and `GET /stats` (JSON counters, per-class request errors, drain
+//! accounting, per-route log-spaced latency histograms, cache and
+//! federation state).
+//!
 //! The request lifecycle is a strict state machine:
 //!
 //! ```text
@@ -54,6 +75,7 @@
 pub mod request;
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -63,9 +85,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sparql_rewrite_core::httpcore::{DeadlineReader, HttpLimits};
-use sparql_rewrite_core::{ServeEngine, ServeScratch};
+use sparql_rewrite_core::{
+    parse_query_into, BreakerState, EndpointId, EndpointOutcome, ExecutorConfig, FederatedExecutor,
+    FederatedResult, FederationPlanner, HttpConfig, HttpEndpoint, HttpTransport, Interner,
+    ParseScratch, RewriteLimits, ServeEngine, ServeScratch,
+};
 
-use request::{read_request, RequestError, RequestScratch, ERROR_CLASSES};
+use request::{read_request, RequestError, RequestScratch, Route, ERROR_CLASSES, N_ROUTES};
 
 /// Tunables for one [`Server`]. The defaults are sized for a loopback
 /// bench profile, not production traffic — every knob exists so the soak
@@ -109,6 +135,279 @@ impl Default for ServerConfig {
     }
 }
 
+/// Where one federation endpoint is served: the endpoint IRI the planner
+/// knows it by, plus the HTTP authority/path to dispatch to.
+#[derive(Clone, Debug)]
+pub struct EndpointRoute {
+    /// Endpoint IRI exactly as registered with the planner (no angle
+    /// brackets), e.g. `http://ep0.example.org/sparql`.
+    pub iri: String,
+    /// `host:port` to connect to.
+    pub authority: String,
+    /// Request path on that host, e.g. `/sparql`.
+    pub path: String,
+}
+
+/// Everything needed to serve the query route in federated mode.
+pub struct FederationConfig {
+    /// The planner holding the per-endpoint alignment stores.
+    pub planner: FederationPlanner,
+    /// The interner the planner's rules were built with; each worker
+    /// clones it so request parsing resolves to the planner's symbols.
+    pub interner: Interner,
+    /// One route per planner endpoint (any order; matched by IRI).
+    pub routes: Vec<EndpointRoute>,
+    /// Executor tuning (deadline, retries, breaker).
+    pub executor: ExecutorConfig,
+    /// HTTP transport tuning.
+    pub http: HttpConfig,
+    /// Rewrite limits for per-endpoint subquery generation.
+    pub limits: RewriteLimits,
+    /// Record a deterministic per-request outcome transcript
+    /// ([`Server::federation_transcript`]). Grows without bound — meant
+    /// for soak gating, not production.
+    pub record_outcomes: bool,
+}
+
+/// Structured startup rejection for a malformed federation config —
+/// always an `Err`, never a panic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FederationConfigError {
+    /// No routes given, or the planner has no endpoints.
+    NoEndpoints,
+    /// A route names an IRI the planner never registered.
+    UnknownEndpointIri(String),
+    /// Two routes name the same endpoint IRI.
+    DuplicateEndpoint(String),
+    /// A planner endpoint has no route to dispatch to.
+    MissingRoute(String),
+}
+
+impl fmt::Display for FederationConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationConfigError::NoEndpoints => write!(f, "federation has no endpoints"),
+            FederationConfigError::UnknownEndpointIri(iri) => {
+                write!(f, "route names unknown endpoint IRI {iri}")
+            }
+            FederationConfigError::DuplicateEndpoint(iri) => {
+                write!(f, "duplicate route for endpoint IRI {iri}")
+            }
+            FederationConfigError::MissingRoute(iri) => {
+                write!(f, "no route for planner endpoint {iri}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederationConfigError {}
+
+/// Why [`Server::spawn_federated`] failed: rejected config or socket
+/// setup failure.
+#[derive(Debug)]
+pub enum SpawnError {
+    Config(FederationConfigError),
+    Io(io::Error),
+}
+
+impl fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpawnError::Config(e) => write!(f, "federation config: {e}"),
+            SpawnError::Io(e) => write!(f, "spawn: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+impl From<FederationConfigError> for SpawnError {
+    fn from(e: FederationConfigError) -> SpawnError {
+        SpawnError::Config(e)
+    }
+}
+
+impl From<io::Error> for SpawnError {
+    fn from(e: io::Error) -> SpawnError {
+        SpawnError::Io(e)
+    }
+}
+
+/// Outcome-class names in [`FederationStats::outcomes`] order — also the
+/// vocabulary of the `X-Endpoint-Status` header and the envelope
+/// `outcome` field.
+pub const OUTCOME_CLASSES: [&str; 4] = ["served", "timed-out", "circuit-open", "retries-exhausted"];
+
+fn outcome_class(o: &EndpointOutcome) -> usize {
+    match o {
+        EndpointOutcome::Served { .. } => 0,
+        EndpointOutcome::TimedOut { .. } => 1,
+        EndpointOutcome::CircuitOpen { .. } => 2,
+        EndpointOutcome::ExhaustedRetries { .. } => 3,
+    }
+}
+
+fn outcome_attempts(o: &EndpointOutcome) -> u32 {
+    match *o {
+        EndpointOutcome::Served { attempts, .. }
+        | EndpointOutcome::TimedOut { attempts, .. }
+        | EndpointOutcome::CircuitOpen { attempts }
+        | EndpointOutcome::ExhaustedRetries { attempts, .. } => attempts,
+    }
+}
+
+/// Snapshot of federated-serving counters ([`Server::federation_stats`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FederationStats {
+    /// Per-endpoint-execution outcome tallies, [`OUTCOME_CLASSES`] order.
+    pub outcomes: [u64; 4],
+    /// Responses where every endpoint served (`200`, `"partial":false`).
+    pub complete_responses: u64,
+    /// Mixed responses (`200` with `"partial":true`).
+    pub partial_responses: u64,
+    /// All-degraded responses answered `502`.
+    pub gateway_unavailable: u64,
+    /// All-degraded responses answered `504` (some endpoint timed out).
+    pub gateway_timeouts: u64,
+    /// Endpoint executions that overshot `deadline + backoff.max_nanos`.
+    pub deadline_breaches: u64,
+    /// Transport worker panics caught inside the executor.
+    pub transport_panics: u64,
+    /// Keep-alive connections the transport reused.
+    pub reused_connections: u64,
+    /// Transparent reconnects after a dead pooled connection.
+    pub transparent_reconnects: u64,
+    /// Current breaker state per endpoint (dense id order).
+    pub breakers: Vec<BreakerState>,
+}
+
+/// Federated-mode serving state shared across workers.
+struct FederationRuntime {
+    planner: FederationPlanner,
+    executor: FederatedExecutor<HttpTransport>,
+    interner: Interner,
+    limits: RewriteLimits,
+    /// Per-endpoint outcome tallies, [`OUTCOME_CLASSES`] order.
+    outcome_counts: [AtomicU64; 4],
+    complete_responses: AtomicU64,
+    partial_responses: AtomicU64,
+    gateway_unavailable: AtomicU64,
+    gateway_timeouts: AtomicU64,
+    /// Endpoint executions that overshot `deadline + backoff.max_nanos`.
+    deadline_breaches: AtomicU64,
+    /// Request sequence for transcript lines.
+    seq: AtomicU64,
+    transcript: Option<Mutex<String>>,
+}
+
+impl FederationRuntime {
+    /// `Retry-After` seconds for an all-degraded response: ceiling of the
+    /// soonest breaker half-open ETA, else the configured shed default.
+    fn retry_after_secs(&self, fallback: u32) -> u64 {
+        match self.executor.soonest_half_open_nanos() {
+            Some(n) => n.div_ceil(1_000_000_000).max(1),
+            None => u64::from(fallback.max(1)),
+        }
+    }
+}
+
+/// Validate a [`FederationConfig`] against its planner and build the
+/// shared runtime. Every malformation is a structured error, never a
+/// panic.
+fn build_federation(fed: FederationConfig) -> Result<FederationRuntime, FederationConfigError> {
+    let n = fed.planner.n_endpoints();
+    if n == 0 || fed.routes.is_empty() {
+        return Err(FederationConfigError::NoEndpoints);
+    }
+    let mut slots: Vec<Option<HttpEndpoint>> = (0..n).map(|_| None).collect();
+    for route in &fed.routes {
+        let id = (0..n).find(|&e| {
+            let term = fed.planner.endpoint_term(EndpointId(e as u32));
+            fed.interner.resolve(term.symbol()) == route.iri
+        });
+        let Some(id) = id else {
+            return Err(FederationConfigError::UnknownEndpointIri(route.iri.clone()));
+        };
+        if slots[id].is_some() {
+            return Err(FederationConfigError::DuplicateEndpoint(route.iri.clone()));
+        }
+        slots[id] = Some(HttpEndpoint::new(
+            route.authority.clone(),
+            route.path.clone(),
+        ));
+    }
+    let mut endpoints = Vec::with_capacity(n);
+    for (e, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(ep) => endpoints.push(ep),
+            None => {
+                let term = fed.planner.endpoint_term(EndpointId(e as u32));
+                return Err(FederationConfigError::MissingRoute(
+                    fed.interner.resolve(term.symbol()).to_string(),
+                ));
+            }
+        }
+    }
+    let transport = HttpTransport::new(endpoints, fed.http);
+    let executor = FederatedExecutor::new(transport, n, fed.executor);
+    Ok(FederationRuntime {
+        planner: fed.planner,
+        executor,
+        interner: fed.interner,
+        limits: fed.limits,
+        outcome_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        complete_responses: AtomicU64::new(0),
+        partial_responses: AtomicU64::new(0),
+        gateway_unavailable: AtomicU64::new(0),
+        gateway_timeouts: AtomicU64::new(0),
+        deadline_breaches: AtomicU64::new(0),
+        seq: AtomicU64::new(0),
+        transcript: fed.record_outcomes.then(|| Mutex::new(String::new())),
+    })
+}
+
+/// What the query route serves: one engine, or a federation. One value
+/// per server; the size skew between the variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum ServeMode {
+    Single(Arc<ServeEngine>),
+    Federated(FederationRuntime),
+}
+
+/// Number of log-spaced latency bins per route: bin `i` covers
+/// `[2^(10+i), 2^(11+i))` nanoseconds — 1 µs up to 2 s — with the first
+/// and last bins absorbing under/overflow.
+pub const LATENCY_BINS: usize = 22;
+
+/// Lower bound (nanoseconds) of latency bin `i`.
+pub fn latency_bin_lower_nanos(i: usize) -> u64 {
+    1u64 << (10 + i.min(LATENCY_BINS - 1))
+}
+
+/// Fixed log2-binned latency histogram (relaxed atomics, lock-free).
+/// Server-side wall-clock only — never part of determinism transcripts.
+struct LatencyHistogram {
+    bins: [AtomicU64; LATENCY_BINS],
+}
+
+impl LatencyHistogram {
+    fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            bins: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, nanos: u64) {
+        let lg = 63 - nanos.max(1).leading_zeros() as usize;
+        let bin = lg.saturating_sub(10).min(LATENCY_BINS - 1);
+        self.bins[bin].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> [u64; LATENCY_BINS] {
+        std::array::from_fn(|i| self.bins[i].load(Ordering::Relaxed))
+    }
+}
+
 /// Monotone counters + gauges, updated with relaxed atomics off the hot
 /// path's shared cache lines (per-request accounting that must be exact
 /// per class is one `fetch_add` per outcome).
@@ -119,6 +418,7 @@ struct Counters {
     panics: AtomicU64,
     idle_closes: AtomicU64,
     in_flight: AtomicUsize,
+    dropped_from_queue: AtomicU64,
     class_counts: [AtomicU64; ERROR_CLASSES],
 }
 
@@ -131,6 +431,7 @@ impl Counters {
             panics: AtomicU64::new(0),
             idle_closes: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
+            dropped_from_queue: AtomicU64::new(0),
             class_counts: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -158,8 +459,15 @@ pub struct StatsSnapshot {
     pub queue_depth: usize,
     /// Connections currently being handled by workers.
     pub in_flight: usize,
+    /// Queued connections refused with `503` during shutdown drain.
+    pub dropped_from_queue: u64,
     /// Per-[`RequestError`]-class counts, [`RequestError::labels`] order.
     pub error_classes: [u64; ERROR_CLASSES],
+    /// Per-route server-side latency histograms ([`Route::index`] order:
+    /// query, healthz, stats); bin `i` counts responses with latency in
+    /// `[latency_bin_lower_nanos(i), latency_bin_lower_nanos(i+1))`.
+    /// Wall-clock — excluded from determinism comparisons by design.
+    pub latency: [[u64; LATENCY_BINS]; N_ROUTES],
 }
 
 impl StatsSnapshot {
@@ -204,8 +512,9 @@ impl Queue {
 
 /// State shared by the acceptor, the workers, and the [`Server`] handle.
 struct Shared {
-    engine: Arc<ServeEngine>,
+    mode: ServeMode,
     config: ServerConfig,
+    latency: [LatencyHistogram; N_ROUTES],
     queue: Queue,
     shutdown: AtomicBool,
     /// Base instant for `drain_at_nanos` (atomics can't hold `Instant`).
@@ -303,15 +612,37 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
-    /// and start serving `engine` with `config`.
+    /// and start serving `engine` with `config` (single-store mode).
     pub fn spawn(engine: Arc<ServeEngine>, config: ServerConfig, addr: &str) -> io::Result<Server> {
+        Server::spawn_mode(ServeMode::Single(engine), config, addr)
+    }
+
+    /// Bind `addr` and serve the query route in federated mode: each
+    /// request is planned across `fed.planner`'s endpoints and dispatched
+    /// over HTTP per `fed.routes`. The config is validated first; every
+    /// malformation is a structured [`SpawnError::Config`].
+    pub fn spawn_federated(
+        fed: FederationConfig,
+        config: ServerConfig,
+        addr: &str,
+    ) -> Result<Server, SpawnError> {
+        let runtime = build_federation(fed)?;
+        Ok(Server::spawn_mode(
+            ServeMode::Federated(runtime),
+            config,
+            addr,
+        )?)
+    }
+
+    fn spawn_mode(mode: ServeMode, config: ServerConfig, addr: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shed_response = render_shed(config.retry_after_secs);
         let n_workers = config.workers.max(1);
         let capacity = config.queue_capacity.max(1);
         let shared = Arc::new(Shared {
-            engine,
+            mode,
+            latency: std::array::from_fn(|_| LatencyHistogram::new()),
             queue: Queue {
                 inner: Mutex::new(VecDeque::with_capacity(capacity)),
                 cond: Condvar::new(),
@@ -352,9 +683,43 @@ impl Server {
         self.local_addr
     }
 
-    /// The engine behind the server (cache stats live there).
-    pub fn engine(&self) -> &Arc<ServeEngine> {
-        &self.shared.engine
+    /// The engine behind the server (cache stats live there); `None` in
+    /// federated mode.
+    pub fn engine(&self) -> Option<&Arc<ServeEngine>> {
+        match &self.shared.mode {
+            ServeMode::Single(engine) => Some(engine),
+            ServeMode::Federated(_) => None,
+        }
+    }
+
+    /// Federated-mode counters; `None` in single-store mode.
+    pub fn federation_stats(&self) -> Option<FederationStats> {
+        let ServeMode::Federated(fed) = &self.shared.mode else {
+            return None;
+        };
+        Some(FederationStats {
+            outcomes: std::array::from_fn(|i| fed.outcome_counts[i].load(Ordering::Relaxed)),
+            complete_responses: fed.complete_responses.load(Ordering::Relaxed),
+            partial_responses: fed.partial_responses.load(Ordering::Relaxed),
+            gateway_unavailable: fed.gateway_unavailable.load(Ordering::Relaxed),
+            gateway_timeouts: fed.gateway_timeouts.load(Ordering::Relaxed),
+            deadline_breaches: fed.deadline_breaches.load(Ordering::Relaxed),
+            transport_panics: fed.executor.caught_panics(),
+            reused_connections: fed.executor.transport().reused_connections(),
+            transparent_reconnects: fed.executor.transport().transparent_reconnects(),
+            breakers: fed.executor.breaker_states(),
+        })
+    }
+
+    /// Clone of the deterministic per-request outcome transcript; `None`
+    /// unless federated with `record_outcomes`.
+    pub fn federation_transcript(&self) -> Option<String> {
+        let ServeMode::Federated(fed) = &self.shared.mode else {
+            return None;
+        };
+        fed.transcript
+            .as_ref()
+            .map(|t| t.lock().unwrap_or_else(PoisonError::into_inner).clone())
     }
 
     pub fn stats(&self) -> StatsSnapshot {
@@ -367,7 +732,9 @@ impl Server {
             idle_closes: c.idle_closes.load(Ordering::Relaxed),
             queue_depth: self.shared.queue.depth(),
             in_flight: c.in_flight.load(Ordering::Relaxed),
+            dropped_from_queue: c.dropped_from_queue.load(Ordering::Relaxed),
             error_classes: std::array::from_fn(|i| c.class_counts[i].load(Ordering::Relaxed)),
+            latency: std::array::from_fn(|r| self.shared.latency[r].snapshot()),
         }
     }
 
@@ -403,6 +770,10 @@ impl Server {
             write_shed(&stream, &shared.shed_response);
         }
         drop(q);
+        shared
+            .stats
+            .dropped_from_queue
+            .fetch_add(dropped as u64, Ordering::Relaxed);
         DrainReport {
             elapsed: start.elapsed(),
             dropped_from_queue: dropped,
@@ -442,20 +813,45 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
     }
 }
 
+/// Per-worker serve state, matching the server's [`ServeMode`]. One
+/// value per worker thread, alive for the thread's whole life; boxing
+/// would only add a pointer chase on the serve path.
+#[allow(clippy::large_enum_variant)]
+enum WorkerScratch {
+    Single(ServeScratch),
+    Federated(FedScratch),
+}
+
+/// Federated-mode per-worker buffers: a cloned interner (so parsing
+/// resolves to the planner's symbols without cross-worker locking),
+/// parse scratch, and response-building buffers.
+struct FedScratch {
+    interner: Interner,
+    parse: ParseScratch,
+    body: String,
+    status_header: String,
+}
+
+fn new_worker_scratch(shared: &Shared) -> WorkerScratch {
+    match &shared.mode {
+        ServeMode::Single(engine) => WorkerScratch::Single(engine.scratch()),
+        ServeMode::Federated(fed) => WorkerScratch::Federated(FedScratch {
+            interner: fed.interner.clone(),
+            parse: ParseScratch::new(),
+            body: String::new(),
+            status_header: String::new(),
+        }),
+    }
+}
+
 fn worker_loop(shared: &Shared) {
-    let mut serve_scratch = shared.engine.scratch();
+    let mut scratch = new_worker_scratch(shared);
     let mut req_scratch = RequestScratch::new();
     let mut resp = Vec::with_capacity(4096);
     while let Some(stream) = shared.pop_conn() {
         shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_connection(
-                shared,
-                &stream,
-                &mut serve_scratch,
-                &mut req_scratch,
-                &mut resp,
-            );
+            handle_connection(shared, &stream, &mut scratch, &mut req_scratch, &mut resp);
         }));
         shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
         if outcome.is_err() {
@@ -467,7 +863,7 @@ fn worker_loop(shared: &Shared) {
             render_response(&mut resp, 500, b"internal error\n", "text/plain", true);
             let _ = (&stream).write_all(&resp);
             let _ = stream.shutdown(Shutdown::Both);
-            serve_scratch = shared.engine.scratch();
+            scratch = new_worker_scratch(shared);
             req_scratch = RequestScratch::new();
         }
     }
@@ -502,7 +898,7 @@ fn wait_first_byte(r: &mut BufReader<DeadlineReader<'_>>) -> FirstByte {
 fn handle_connection(
     shared: &Shared,
     stream: &TcpStream,
-    serve_scratch: &mut ServeScratch,
+    scratch: &mut WorkerScratch,
     req_scratch: &mut RequestScratch,
     resp: &mut Vec<u8>,
 ) {
@@ -534,27 +930,15 @@ fn handle_connection(
             req_scratch,
         ) {
             Ok(req) => {
+                let t0 = Instant::now();
                 let close = !req.keep_alive || shared.draining();
-                // SERVE: cache hit or full pipeline; a SPARQL-level parse
-                // failure is the one 4xx that keeps the connection (the
-                // HTTP framing was clean, so we are still in sync).
-                match shared.engine.serve(&req_scratch.query, serve_scratch) {
-                    Ok(out) => {
-                        render_response(
-                            resp,
-                            200,
-                            out.as_bytes(),
-                            "application/sparql-query",
-                            close,
-                        );
-                        shared.stats.served.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        let e = RequestError::QueryUnparseable;
-                        shared.stats.count(e);
-                        render_response(resp, 400, e.label().as_bytes(), "text/plain", close);
-                    }
+                match req.route {
+                    Route::Query => serve_query(shared, scratch, req_scratch, resp, close),
+                    Route::Health => render_health(shared, resp, close),
+                    Route::Stats => render_stats(shared, resp, close),
                 }
+                // Framed-request → rendered-response latency, pre-write.
+                shared.latency[req.route.index()].record(t0.elapsed().as_nanos() as u64);
                 if write_all(stream, resp).is_err() || close {
                     return;
                 }
@@ -573,6 +957,379 @@ fn handle_connection(
             }
         }
     }
+}
+
+/// SERVE one framed query per the serve mode. A SPARQL-level failure
+/// (parse or plan) is the one 4xx that keeps the connection — the HTTP
+/// framing was clean, so we are still in sync.
+fn serve_query(
+    shared: &Shared,
+    scratch: &mut WorkerScratch,
+    req_scratch: &RequestScratch,
+    resp: &mut Vec<u8>,
+    close: bool,
+) {
+    match (&shared.mode, scratch) {
+        (ServeMode::Single(engine), WorkerScratch::Single(serve_scratch)) => {
+            match engine.serve(&req_scratch.query, serve_scratch) {
+                Ok(out) => {
+                    render_response(resp, 200, out.as_bytes(), "application/sparql-query", close);
+                    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    let e = RequestError::QueryUnparseable;
+                    shared.stats.count(e);
+                    render_response(resp, 400, e.label().as_bytes(), "text/plain", close);
+                }
+            }
+        }
+        (ServeMode::Federated(fed), WorkerScratch::Federated(fs)) => {
+            serve_federated(shared, fed, &req_scratch.query, fs, resp, close);
+        }
+        // Scratches are built from the mode, so the pairs always match.
+        _ => unreachable!("worker scratch does not match serve mode"),
+    }
+}
+
+/// Federated serve: parse → plan per endpoint → dispatch over HTTP → map
+/// the per-endpoint outcomes onto one response.
+///
+/// * every endpoint served → `200`, envelope `"partial":false`
+/// * some served → `200`, `"partial":true` + `X-Endpoint-Status` detail
+/// * none served → `502` (`504` if any endpoint timed out) with
+///   `Retry-After` from the soonest breaker half-open ETA
+fn serve_federated(
+    shared: &Shared,
+    fed: &FederationRuntime,
+    query: &str,
+    fs: &mut FedScratch,
+    resp: &mut Vec<u8>,
+    close: bool,
+) {
+    use std::fmt::Write as _;
+    let seq = fed.seq.fetch_add(1, Ordering::Relaxed);
+    let planned = parse_query_into(query, &mut fs.interner, &mut fs.parse)
+        .ok()
+        .and_then(|()| {
+            fed.planner
+                .plan_for_dispatch(fs.parse.query_ref(), &fs.interner, fed.limits)
+                .ok()
+        });
+    let Some(plan) = planned else {
+        let e = RequestError::QueryUnparseable;
+        shared.stats.count(e);
+        if let Some(t) = &fed.transcript {
+            let mut t = t.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = writeln!(t, "r{seq} reject query_unparseable");
+        }
+        render_response(resp, 400, e.label().as_bytes(), "text/plain", close);
+        return;
+    };
+    let result = fed.executor.execute(&plan.endpoints);
+
+    let ceiling = {
+        let c = fed.executor.config();
+        c.deadline_nanos.saturating_add(c.backoff.max_nanos)
+    };
+    let mut any_timeout = false;
+    for report in &result.reports {
+        fed.outcome_counts[outcome_class(&report.outcome)].fetch_add(1, Ordering::Relaxed);
+        let elapsed = match report.outcome {
+            EndpointOutcome::Served { latency_nanos, .. } => latency_nanos,
+            EndpointOutcome::TimedOut { elapsed_nanos, .. } => {
+                any_timeout = true;
+                elapsed_nanos
+            }
+            _ => 0,
+        };
+        if elapsed > ceiling {
+            fed.deadline_breaches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if let Some(t) = &fed.transcript {
+        let mut t = t.lock().unwrap_or_else(PoisonError::into_inner);
+        for report in &result.reports {
+            // Outcome classes, attempts, and row payloads only — never
+            // wall-clock nanos — so two same-seed runs compare bytewise.
+            let _ = writeln!(
+                t,
+                "r{seq} ep={} {} a={} rows={}",
+                report.endpoint.0,
+                OUTCOME_CLASSES[outcome_class(&report.outcome)],
+                outcome_attempts(&report.outcome),
+                report.rows.as_deref().unwrap_or("-"),
+            );
+        }
+    }
+
+    let n = result.reports.len();
+    let served = result.served_count();
+    render_envelope(
+        fed,
+        &result,
+        plan.n_residual_patterns,
+        served < n,
+        &mut fs.body,
+    );
+    if served == n {
+        fed.complete_responses.fetch_add(1, Ordering::Relaxed);
+        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        render_response(resp, 200, fs.body.as_bytes(), "application/json", close);
+    } else {
+        endpoint_status_header(&result, &mut fs.status_header);
+        let extra = [("X-Endpoint-Status", fs.status_header.as_bytes())];
+        if served > 0 {
+            fed.partial_responses.fetch_add(1, Ordering::Relaxed);
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            render_with(
+                resp,
+                200,
+                fs.body.as_bytes(),
+                "application/json",
+                close,
+                None,
+                &extra,
+            );
+        } else {
+            let status = if any_timeout { 504 } else { 502 };
+            let counter = if any_timeout {
+                &fed.gateway_timeouts
+            } else {
+                &fed.gateway_unavailable
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            let retry = fed.retry_after_secs(shared.config.retry_after_secs);
+            render_unavailable(
+                resp,
+                status,
+                retry,
+                fs.body.as_bytes(),
+                "application/json",
+                close,
+                &extra,
+            );
+        }
+    }
+}
+
+/// Hand-rolled JSON result envelope. Byte-deterministic for a fixed
+/// outcome sequence: no latency or timestamp fields.
+fn render_envelope(
+    fed: &FederationRuntime,
+    result: &FederatedResult,
+    n_residual_patterns: usize,
+    partial: bool,
+    out: &mut String,
+) {
+    use std::fmt::Write as _;
+    out.clear();
+    let _ = write!(
+        out,
+        "{{\"partial\":{partial},\"residual_patterns\":{n_residual_patterns},\"endpoints\":["
+    );
+    for (i, report) in result.reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let iri = fed
+            .interner
+            .resolve(fed.planner.endpoint_term(report.endpoint).symbol());
+        let _ = write!(out, "{{\"id\":{},\"iri\":\"", report.endpoint.0);
+        push_json_escaped(out, iri);
+        let _ = write!(
+            out,
+            "\",\"outcome\":\"{}\",\"attempts\":{}",
+            OUTCOME_CLASSES[outcome_class(&report.outcome)],
+            outcome_attempts(&report.outcome),
+        );
+        if let Some(rows) = &report.rows {
+            out.push_str(",\"rows\":\"");
+            push_json_escaped(out, rows);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// `X-Endpoint-Status` value: `ep0=served,ep1=timed-out,…` in plan order.
+fn endpoint_status_header(result: &FederatedResult, out: &mut String) {
+    use std::fmt::Write as _;
+    out.clear();
+    for (i, report) in result.reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "ep{}={}",
+            report.endpoint.0,
+            OUTCOME_CLASSES[outcome_class(&report.outcome)]
+        );
+    }
+}
+
+/// Minimal JSON string escape: quote, backslash, and control bytes.
+fn push_json_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `GET /healthz`: readiness probe. Not ready (`503` + reason body +
+/// `Retry-After`) while draining, with a saturated admission queue, or —
+/// federated — with every breaker open; otherwise `200 ok`.
+fn render_health(shared: &Shared, resp: &mut Vec<u8>, close: bool) {
+    let reason_body: Option<&[u8]> = if shared.draining() {
+        Some(b"draining\n")
+    } else if shared.queue.depth() >= shared.queue.capacity {
+        Some(b"queue-full\n")
+    } else if let ServeMode::Federated(fed) = &shared.mode {
+        let states = fed.executor.breaker_states();
+        let all_open = !states.is_empty() && states.iter().all(|s| *s == BreakerState::Open);
+        all_open.then_some(b"breakers-open\n".as_slice())
+    } else {
+        None
+    };
+    match reason_body {
+        Some(body) => {
+            let retry = match &shared.mode {
+                ServeMode::Federated(fed) => fed.retry_after_secs(shared.config.retry_after_secs),
+                ServeMode::Single(_) => u64::from(shared.config.retry_after_secs.max(1)),
+            };
+            render_unavailable(resp, 503, retry, body, "text/plain", close, &[]);
+        }
+        None => render_response(resp, 200, b"ok\n", "text/plain", close),
+    }
+}
+
+/// `GET /stats`: JSON counters snapshot. Builds into a fresh `String` —
+/// the observability surface is off the zero-alloc hot path by design.
+fn render_stats(shared: &Shared, resp: &mut Vec<u8>, close: bool) {
+    use std::fmt::Write as _;
+    let c = &shared.stats;
+    let mut s = String::with_capacity(2048);
+    let _ = write!(
+        s,
+        "{{\"accepted\":{},\"shed\":{},\"served\":{},\"worker_panics\":{},\"idle_closes\":{},\"queue_depth\":{},\"queue_capacity\":{},\"in_flight\":{}",
+        c.accepted.load(Ordering::Relaxed),
+        c.shed.load(Ordering::Relaxed),
+        c.served.load(Ordering::Relaxed),
+        c.panics.load(Ordering::Relaxed),
+        c.idle_closes.load(Ordering::Relaxed),
+        shared.queue.depth(),
+        shared.queue.capacity,
+        c.in_flight.load(Ordering::Relaxed),
+    );
+    s.push_str(",\"errors\":{");
+    for (i, label) in RequestError::labels().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\"{label}\":{}",
+            c.class_counts[i].load(Ordering::Relaxed)
+        );
+    }
+    s.push('}');
+    let _ = write!(
+        s,
+        ",\"drain\":{{\"draining\":{},\"dropped_from_queue\":{},\"drain_deadline_ms\":{},\"request_deadline_ms\":{}}}",
+        shared.draining(),
+        c.dropped_from_queue.load(Ordering::Relaxed),
+        shared.config.drain_deadline.as_millis(),
+        shared.config.request_deadline.as_millis(),
+    );
+    s.push_str(",\"latency_nanos\":{\"bin_lower\":[");
+    for i in 0..LATENCY_BINS {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}", latency_bin_lower_nanos(i));
+    }
+    s.push(']');
+    for (name, hist) in [
+        ("query", &shared.latency[Route::Query.index()]),
+        ("healthz", &shared.latency[Route::Health.index()]),
+        ("stats", &shared.latency[Route::Stats.index()]),
+    ] {
+        let _ = write!(s, ",\"{name}\":[");
+        for (i, v) in hist.snapshot().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{v}");
+        }
+        s.push(']');
+    }
+    s.push('}');
+    match &shared.mode {
+        ServeMode::Single(engine) => {
+            if let Some(stats) = engine.cache_stats() {
+                let (grows, shrinks) = engine.cache_resizes();
+                let _ = write!(
+                    s,
+                    ",\"cache\":{{\"occupancy\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"oversize_bypasses\":{},\"value_cap\":{},\"grows\":{},\"shrinks\":{}}}",
+                    stats.occupancy(),
+                    stats.capacity(),
+                    stats.hits(),
+                    stats.misses(),
+                    stats.evictions(),
+                    stats.oversize_bypasses(),
+                    engine.cache_value_cap().unwrap_or(0),
+                    grows,
+                    shrinks,
+                );
+            }
+        }
+        ServeMode::Federated(fed) => {
+            let _ = write!(
+                s,
+                ",\"federation\":{{\"complete\":{},\"partial\":{},\"gateway_502\":{},\"gateway_504\":{},\"deadline_breaches\":{},\"transport_panics\":{},\"reused_connections\":{},\"transparent_reconnects\":{}",
+                fed.complete_responses.load(Ordering::Relaxed),
+                fed.partial_responses.load(Ordering::Relaxed),
+                fed.gateway_unavailable.load(Ordering::Relaxed),
+                fed.gateway_timeouts.load(Ordering::Relaxed),
+                fed.deadline_breaches.load(Ordering::Relaxed),
+                fed.executor.caught_panics(),
+                fed.executor.transport().reused_connections(),
+                fed.executor.transport().transparent_reconnects(),
+            );
+            s.push_str(",\"outcomes\":{");
+            for (i, name) in OUTCOME_CLASSES.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "\"{name}\":{}",
+                    fed.outcome_counts[i].load(Ordering::Relaxed)
+                );
+            }
+            s.push_str("},\"breakers\":[");
+            for (i, st) in fed.executor.breaker_states().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{st:?}\"");
+            }
+            s.push_str("]}");
+        }
+    }
+    s.push('}');
+    render_response(resp, 200, s.as_bytes(), "application/json", close);
 }
 
 /// `Write` goes through `impl Write for &TcpStream` (shared reference,
@@ -623,15 +1380,26 @@ fn reason(status: u16) -> &'static str {
         415 => "Unsupported Media Type",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Response",
     }
 }
 
-/// Render a full response into `buf` (cleared first). Allocation-free
-/// once `buf` has capacity — the 200 hot path reuses one buffer per
-/// worker.
-fn render_response(buf: &mut Vec<u8>, status: u16, body: &[u8], content_type: &str, close: bool) {
+/// The one response renderer: status line, `Content-Type`, optional
+/// `Retry-After`, extra headers, `Content-Length`, optional
+/// `Connection: close`, body. Allocation-free once `buf` has capacity —
+/// the 200 hot path reuses one buffer per worker.
+fn render_with(
+    buf: &mut Vec<u8>,
+    status: u16,
+    body: &[u8],
+    content_type: &str,
+    close: bool,
+    retry_after_secs: Option<u64>,
+    extra: &[(&str, &[u8])],
+) {
     buf.clear();
     buf.extend_from_slice(b"HTTP/1.1 ");
     push_decimal(buf, status as u64);
@@ -639,6 +1407,16 @@ fn render_response(buf: &mut Vec<u8>, status: u16, body: &[u8], content_type: &s
     buf.extend_from_slice(reason(status).as_bytes());
     buf.extend_from_slice(b"\r\nContent-Type: ");
     buf.extend_from_slice(content_type.as_bytes());
+    if let Some(secs) = retry_after_secs {
+        buf.extend_from_slice(b"\r\nRetry-After: ");
+        push_decimal(buf, secs);
+    }
+    for (name, value) in extra {
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(b": ");
+        buf.extend_from_slice(value);
+    }
     buf.extend_from_slice(b"\r\nContent-Length: ");
     push_decimal(buf, body.len() as u64);
     if close {
@@ -648,18 +1426,46 @@ fn render_response(buf: &mut Vec<u8>, status: u16, body: &[u8], content_type: &s
     buf.extend_from_slice(body);
 }
 
+/// Render a plain response (no `Retry-After`, no extra headers).
+fn render_response(buf: &mut Vec<u8>, status: u16, body: &[u8], content_type: &str, close: bool) {
+    render_with(buf, status, body, content_type, close, None, &[]);
+}
+
+/// Render a `Retry-After`-bearing unavailability response — the single
+/// helper behind the prebuilt shed `503`, the federated all-degraded
+/// `502`/`504`, and the not-ready health probe.
+fn render_unavailable(
+    buf: &mut Vec<u8>,
+    status: u16,
+    retry_after_secs: u64,
+    body: &[u8],
+    content_type: &str,
+    close: bool,
+    extra: &[(&str, &[u8])],
+) {
+    render_with(
+        buf,
+        status,
+        body,
+        content_type,
+        close,
+        Some(retry_after_secs),
+        extra,
+    );
+}
+
 /// The prebuilt overload response the acceptor writes on the shed path.
 fn render_shed(retry_after_secs: u32) -> Vec<u8> {
-    let body = b"overloaded\n";
     let mut buf = Vec::with_capacity(160);
-    buf.extend_from_slice(
-        b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nRetry-After: ",
+    render_unavailable(
+        &mut buf,
+        503,
+        u64::from(retry_after_secs),
+        b"overloaded\n",
+        "text/plain",
+        true,
+        &[],
     );
-    push_decimal(&mut buf, retry_after_secs as u64);
-    buf.extend_from_slice(b"\r\nContent-Length: ");
-    push_decimal(&mut buf, body.len() as u64);
-    buf.extend_from_slice(b"\r\nConnection: close\r\n\r\n");
-    buf.extend_from_slice(body);
     buf
 }
 
@@ -675,4 +1481,65 @@ fn push_decimal(out: &mut Vec<u8>, mut n: u64) {
         }
     }
     out.extend_from_slice(&tmp[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_and_gateway_responses_share_retry_after() {
+        let shed = render_shed(7);
+        let text = String::from_utf8_lossy(&shed).into_owned();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("\r\nRetry-After: 7\r\n"));
+        assert!(text.contains("\r\nConnection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\noverloaded\n"));
+
+        let mut buf = Vec::new();
+        render_unavailable(&mut buf, 502, 3, b"{}", "application/json", true, &[]);
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        assert!(text.starts_with("HTTP/1.1 502 Bad Gateway\r\n"));
+        assert!(text.contains("\r\nRetry-After: 3\r\n"));
+
+        let mut buf = Vec::new();
+        render_unavailable(
+            &mut buf,
+            504,
+            1,
+            b"{}",
+            "application/json",
+            false,
+            &[("X-Endpoint-Status", b"ep0=timed-out")],
+        );
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        assert!(text.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"));
+        assert!(text.contains("\r\nRetry-After: 1\r\n"));
+        assert!(text.contains("\r\nX-Endpoint-Status: ep0=timed-out\r\n"));
+    }
+
+    #[test]
+    fn shed_bytes_unchanged_by_helper_unification() {
+        // Pin the exact byte shape the overload soak's shed assertions
+        // rely on (body, header order, close semantics).
+        let expected: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nRetry-After: 1\r\nContent-Length: 11\r\nConnection: close\r\n\r\noverloaded\n";
+        assert_eq!(render_shed(1), expected);
+    }
+
+    #[test]
+    fn latency_bins_are_log_spaced_and_saturating() {
+        let h = LatencyHistogram::new();
+        h.record(0); // clamps into bin 0
+        h.record(1_023); // below 2^10 → bin 0
+        h.record(1_024); // 2^10 → bin 0 lower bound
+        h.record(2_048); // 2^11 → bin 1
+        h.record(u64::MAX); // saturates into the last bin
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 3);
+        assert_eq!(snap[1], 1);
+        assert_eq!(snap[LATENCY_BINS - 1], 1);
+        assert_eq!(snap.iter().sum::<u64>(), 5);
+        assert_eq!(latency_bin_lower_nanos(0), 1 << 10);
+        assert_eq!(latency_bin_lower_nanos(LATENCY_BINS - 1), 1 << 31);
+    }
 }

@@ -127,7 +127,7 @@ fn main() {
     while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
 
     let stats = server.stats();
-    let cache = server.engine().cache_stats();
+    let cache = server.engine().and_then(|e| e.cache_stats());
     let report = server.shutdown();
     println!(
         "accepted {} | served {} | shed {} | panics {} | errors {}",

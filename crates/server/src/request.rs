@@ -159,13 +159,38 @@ fn lift(e: HttpError) -> RequestError {
     }
 }
 
-/// One successfully framed request; the query text is in
-/// [`RequestScratch::query`].
+/// Which server surface a request addressed. The query route is the
+/// configured SPARQL path; `/healthz` and `/stats` are fixed read-only
+/// observability routes that accept `GET` only.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Route {
+    /// The configured SPARQL query route (default `/sparql`).
+    Query,
+    /// `GET /healthz` — readiness probe.
+    Health,
+    /// `GET /stats` — JSON counters snapshot.
+    Stats,
+}
+
+impl Route {
+    /// Stable slot for per-route arrays (latency histograms).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Number of [`Route`] variants (sizing for per-route arrays).
+pub const N_ROUTES: usize = 3;
+
+/// One successfully framed request; for [`Route::Query`] the query text
+/// is in [`RequestScratch::query`].
 #[derive(Copy, Clone, Debug)]
 pub struct Request {
     /// HTTP/1.1 default, `Connection` tokens applied (`close` wins over
     /// `keep-alive`).
     pub keep_alive: bool,
+    /// Which surface the request addressed.
+    pub route: Route,
 }
 
 /// Caller-owned buffers for [`read_request`]; reuse across requests for
@@ -280,9 +305,15 @@ pub fn read_request<R: BufRead>(
         Some(p) => (&target[..p], Some(&target[p + 1..])),
         None => (&target[..], None),
     };
-    if path != route {
+    let route_kind = if path == route {
+        Route::Query
+    } else if path == b"/healthz" {
+        Route::Health
+    } else if path == b"/stats" {
+        Route::Stats
+    } else {
         return Err(RequestError::NotFound);
-    }
+    };
 
     if !is_post {
         // A GET that declares a body would desynchronize keep-alive
@@ -290,13 +321,28 @@ pub fn read_request<R: BufRead>(
         if framing.chunked || framing.content_length.is_some_and(|n| n > 0) {
             return Err(RequestError::BadRequestLine);
         }
+        if route_kind != Route::Query {
+            // Observability routes take no query parameter.
+            return Ok(Request {
+                keep_alive,
+                route: route_kind,
+            });
+        }
         let raw = query_string
             .and_then(|qs| find_param(qs, b"query"))
             .ok_or(RequestError::MissingQuery)?;
         percent_decode_into(raw, decode).map_err(|()| RequestError::BadEncoding)?;
         let text = str::from_utf8(decode).map_err(|_| RequestError::BadEncoding)?;
         query.push_str(text);
-        return Ok(Request { keep_alive });
+        return Ok(Request {
+            keep_alive,
+            route: Route::Query,
+        });
+    }
+    if route_kind != Route::Query {
+        // The observability surface is read-only; refuse before the body
+        // read so a POST flood cannot buy body-sized work from it.
+        return Err(RequestError::MethodNotAllowed);
     }
 
     // POST: read the framed body, then decode per Content-Type.
@@ -325,7 +371,10 @@ pub fn read_request<R: BufRead>(
     } else {
         return Err(RequestError::UnsupportedMediaType);
     }
-    Ok(Request { keep_alive })
+    Ok(Request {
+        keep_alive,
+        route: Route::Query,
+    })
 }
 
 /// The media type without parameters: `application/sparql-query;

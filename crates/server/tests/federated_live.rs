@@ -1,0 +1,234 @@
+//! Live loopback tests for federated serving: a real `Server` in
+//! federated mode in front of real endpoint sockets. Covers the
+//! malformed-federation-config battery (structured startup errors, never
+//! a panic), the degraded-mode contract for a wedged endpoint (partial
+//! `200` inside the deadline, never a whole-request failure), and the
+//! `/healthz` + `/stats` observability surface.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sparql_rewrite_core::{
+    AlignmentStore, BackoffPolicy, ChaosProxy, ChaosSpec, ExecutorConfig, FederationPlanner,
+    HttpConfig, Interner, RewriteLimits, Term, TriplePattern,
+};
+use sparql_rewrite_server::request::percent_encode_into;
+use sparql_rewrite_server::{
+    EndpointRoute, FederationConfig, FederationConfigError, Server, ServerConfig, SpawnError,
+};
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        request_deadline: Duration::from_secs(2),
+        keep_alive_idle: Duration::from_millis(400),
+        drain_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    }
+}
+
+fn route(e: usize, authority: &str) -> EndpointRoute {
+    EndpointRoute {
+        iri: format!("http://ep{e}.example.org/sparql"),
+        authority: authority.to_string(),
+        path: "/sparql".to_string(),
+    }
+}
+
+/// Two endpoints, one predicate rule each: queries over
+/// `http://src.example.org/onto/p{e}` dispatch to endpoint `e`.
+fn two_endpoint_config(routes: Vec<EndpointRoute>) -> FederationConfig {
+    let mut interner = Interner::new();
+    let var_s = Term::var(interner.intern("s"));
+    let var_o = Term::var(interner.intern("o"));
+    let mut planner = FederationPlanner::new();
+    for e in 0..2 {
+        let mut store = AlignmentStore::new();
+        let src = Term::iri(interner.intern(&format!("http://src.example.org/onto/p{e}")));
+        let tgt = Term::iri(interner.intern(&format!("http://ep{e}.example.org/onto/q")));
+        store
+            .add_predicate(
+                TriplePattern::new(var_s, src, var_o),
+                vec![TriplePattern::new(var_s, tgt, var_o)],
+            )
+            .expect("valid rule");
+        let ep = Term::iri(interner.intern(&format!("http://ep{e}.example.org/sparql")));
+        planner.add_endpoint(ep, Arc::new(store));
+    }
+    FederationConfig {
+        planner,
+        interner,
+        routes,
+        executor: ExecutorConfig {
+            deadline_nanos: 150_000_000,
+            backoff: BackoffPolicy::none(),
+            ..ExecutorConfig::default()
+        },
+        http: HttpConfig::default(),
+        limits: RewriteLimits::default(),
+        record_outcomes: false,
+    }
+}
+
+#[test]
+fn malformed_federation_configs_are_structured_errors() {
+    // Zero endpoints (empty planner AND no routes).
+    let empty = FederationConfig {
+        planner: FederationPlanner::new(),
+        interner: Interner::new(),
+        routes: Vec::new(),
+        executor: ExecutorConfig::default(),
+        http: HttpConfig::default(),
+        limits: RewriteLimits::default(),
+        record_outcomes: false,
+    };
+    match Server::spawn_federated(empty, quick_config(), "127.0.0.1:0").map(|_| ()) {
+        Err(SpawnError::Config(FederationConfigError::NoEndpoints)) => {}
+        other => panic!("empty federation: expected NoEndpoints, got {other:?}"),
+    }
+
+    // A route naming an IRI the planner never registered.
+    let unknown = two_endpoint_config(vec![
+        route(0, "127.0.0.1:1"),
+        EndpointRoute {
+            iri: "http://nope.example.org/sparql".to_string(),
+            authority: "127.0.0.1:1".to_string(),
+            path: "/sparql".to_string(),
+        },
+    ]);
+    match Server::spawn_federated(unknown, quick_config(), "127.0.0.1:0").map(|_| ()) {
+        Err(SpawnError::Config(FederationConfigError::UnknownEndpointIri(iri))) => {
+            assert_eq!(iri, "http://nope.example.org/sparql");
+        }
+        other => panic!("unknown IRI: expected UnknownEndpointIri, got {other:?}"),
+    }
+
+    // Two routes for the same endpoint.
+    let dup = two_endpoint_config(vec![
+        route(0, "127.0.0.1:1"),
+        route(0, "127.0.0.1:2"),
+        route(1, "127.0.0.1:3"),
+    ]);
+    match Server::spawn_federated(dup, quick_config(), "127.0.0.1:0").map(|_| ()) {
+        Err(SpawnError::Config(FederationConfigError::DuplicateEndpoint(iri))) => {
+            assert_eq!(iri, "http://ep0.example.org/sparql");
+        }
+        other => panic!("duplicate: expected DuplicateEndpoint, got {other:?}"),
+    }
+
+    // A planner endpoint left without any route.
+    let missing = two_endpoint_config(vec![route(0, "127.0.0.1:1")]);
+    match Server::spawn_federated(missing, quick_config(), "127.0.0.1:0").map(|_| ()) {
+        Err(SpawnError::Config(FederationConfigError::MissingRoute(iri))) => {
+            assert_eq!(iri, "http://ep1.example.org/sparql");
+        }
+        other => panic!("missing route: expected MissingRoute, got {other:?}"),
+    }
+}
+
+/// An endpoint that accepts connections and then never sends a byte.
+/// Accepted sockets are held so the peer sees a stall, not a reset.
+fn wedged_endpoint() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind wedged endpoint");
+    let authority = format!("127.0.0.1:{}", listener.local_addr().unwrap().port());
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = listener.accept() {
+            held.push(s);
+        }
+    });
+    authority
+}
+
+#[test]
+fn wedged_endpoint_yields_partial_200_within_deadline() {
+    let healthy = ChaosProxy::spawn(0xfeed, ChaosSpec::default()).expect("healthy endpoint");
+    let wedged = wedged_endpoint();
+    let fed = two_endpoint_config(vec![route(0, &healthy.authority()), route(1, &wedged)]);
+    let config = quick_config();
+    let request_deadline = config.request_deadline;
+    let server = Server::spawn_federated(fed, config, "127.0.0.1:0").expect("spawn federated");
+
+    let query = "SELECT * WHERE { ?s <http://src.example.org/onto/p0> ?o . \
+                 ?s <http://src.example.org/onto/p1> ?o }";
+    let mut req = Vec::new();
+    req.extend_from_slice(b"GET /sparql?query=");
+    percent_encode_into(query, &mut req);
+    req.extend_from_slice(b" HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(&req).expect("request write");
+    let t0 = Instant::now();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("response read");
+    let elapsed = t0.elapsed();
+    let text = String::from_utf8_lossy(&raw).into_owned();
+
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK\r\n"),
+        "a wedged endpoint must degrade to a partial 200, got: {text}"
+    );
+    assert!(
+        text.contains("X-Endpoint-Status: "),
+        "partial responses must carry per-endpoint detail: {text}"
+    );
+    assert!(text.contains("ep1=timed-out"), "detail header: {text}");
+    assert!(text.contains("ep0=served"), "detail header: {text}");
+    assert!(text.contains("\"partial\":true"), "envelope: {text}");
+    assert!(
+        elapsed < request_deadline,
+        "partial response took {elapsed:?}, request deadline {request_deadline:?}"
+    );
+
+    let fstats = server.federation_stats().expect("federated mode");
+    assert_eq!(fstats.partial_responses, 1);
+    assert_eq!(fstats.outcomes[0], 1, "one served endpoint");
+    assert_eq!(fstats.outcomes[1], 1, "one timed-out endpoint");
+    assert_eq!(fstats.deadline_breaches, 0);
+    server.shutdown();
+}
+
+#[test]
+fn health_and_stats_surface_is_read_only() {
+    let healthy = ChaosProxy::spawn(0x900d, ChaosSpec::default()).expect("healthy endpoint");
+    let wedged = wedged_endpoint();
+    let fed = two_endpoint_config(vec![route(0, &healthy.authority()), route(1, &wedged)]);
+    let server = Server::spawn_federated(fed, quick_config(), "127.0.0.1:0").expect("spawn");
+    let addr = server.local_addr();
+
+    let send = |req: &[u8]| -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(req).expect("write");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read");
+        String::from_utf8_lossy(&raw).into_owned()
+    };
+
+    let health = send(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
+
+    let stats = send(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(stats.starts_with("HTTP/1.1 200 OK\r\n"), "{stats}");
+    for key in [
+        "\"accepted\":",
+        "\"errors\":{",
+        "\"drain\":{",
+        "\"latency_nanos\":{",
+        "\"federation\":{",
+        "\"breakers\":[",
+        "\"dropped_from_queue\":",
+    ] {
+        assert!(stats.contains(key), "missing {key} in /stats: {stats}");
+    }
+
+    let post = send(b"POST /stats HTTP/1.1\r\nContent-Length: 3\r\nConnection: close\r\n\r\nabc");
+    assert!(
+        post.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
+        "observability surface must be read-only: {post}"
+    );
+    server.shutdown();
+}

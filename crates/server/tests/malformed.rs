@@ -13,13 +13,19 @@ use std::io::Cursor;
 
 use sparql_rewrite_core::httpcore::HttpLimits;
 use sparql_rewrite_core::mix_chain;
-use sparql_rewrite_server::request::{read_request, RequestError, RequestScratch};
+use sparql_rewrite_server::request::{read_request, RequestError, RequestScratch, Route};
 
 fn read(bytes: &[u8], limits: &HttpLimits) -> Result<(String, bool), RequestError> {
     let mut scratch = RequestScratch::new();
     let mut r = Cursor::new(bytes);
     read_request(&mut r, limits, b"/sparql", &mut scratch)
         .map(|req| (scratch.query.clone(), req.keep_alive))
+}
+
+fn read_route(bytes: &[u8]) -> Result<Route, RequestError> {
+    let mut scratch = RequestScratch::new();
+    let mut r = Cursor::new(bytes);
+    read_request(&mut r, &HttpLimits::default(), b"/sparql", &mut scratch).map(|req| req.route)
 }
 
 fn read_default(bytes: &[u8]) -> Result<(String, bool), RequestError> {
@@ -316,6 +322,40 @@ fn battery_of_healthy_requests_parses_exactly() {
             Err(e) => panic!("case {name}: expected success, got {e:?}"),
         }
     }
+}
+
+/// The fixed observability routes: `GET` resolves to the right [`Route`]
+/// without needing a `query` parameter; writes are refused before any
+/// body read; unknown paths are still `NotFound`.
+#[test]
+fn observability_routes_are_get_only_and_query_free() {
+    use RequestError::*;
+    assert_eq!(
+        read_route(b"GET /healthz HTTP/1.1\r\n\r\n"),
+        Ok(Route::Health)
+    );
+    assert_eq!(read_route(b"GET /stats HTTP/1.1\r\n\r\n"), Ok(Route::Stats));
+    // A query string on an aux route is tolerated and ignored.
+    assert_eq!(
+        read_route(b"GET /stats?verbose=1 HTTP/1.1\r\n\r\n"),
+        Ok(Route::Stats)
+    );
+    assert_eq!(
+        read_route(b"GET /sparql?query=x HTTP/1.1\r\n\r\n"),
+        Ok(Route::Query)
+    );
+    // Read-only surface: POST refused with 405, body never read.
+    assert_eq!(
+        read_route(b"POST /healthz HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"),
+        Err(MethodNotAllowed),
+    );
+    assert_eq!(
+        read_route(b"POST /stats HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"),
+        Err(MethodNotAllowed),
+    );
+    // Aux routes don't loosen path matching for everything else.
+    assert_eq!(read_route(b"GET /healthz2 HTTP/1.1\r\n\r\n"), Err(NotFound));
+    assert_eq!(read_route(b"GET /statsx HTTP/1.1\r\n\r\n"), Err(NotFound));
 }
 
 /// Every strict prefix of a valid request is an error (mostly `Closed` —
